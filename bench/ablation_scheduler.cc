@@ -1,0 +1,88 @@
+// Ablation study for the design choices the paper calls out in Section 3.2:
+//
+//   (a) RX airtime accounting (improvement #2 over the DTT scheduler):
+//       bidirectional fairness with and without charging received airtime.
+//   (b) The sparse-station optimisation (improvement #3): Figure 8's knob.
+//   (c) The DRR quantum: fairness is insensitive to it (deficit scheduling),
+//       but latency shifts with scheduling granularity.
+//   (d) Per-station CoDel adaptation (Section 3.1.1): the slow station's
+//       loss/latency trade-off with and without the low-rate profile.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace airfair;
+
+int main() {
+  const ExperimentTiming timing = BenchTiming(15);
+  const int reps = BenchRepetitions(3);
+
+  std::printf("Ablation (a): RX airtime accounting under bidirectional TCP\n");
+  PrintHeaderRule();
+  for (bool rx : {true, false}) {
+    std::vector<double> jain;
+    for (int rep = 0; rep < reps; ++rep) {
+      TestbedConfig config;
+      config.seed = 1100 + static_cast<uint64_t>(rep);
+      config.scheme = QueueScheme::kAirtimeFair;
+      config.mac_backend.rx_airtime_accounting = rx;
+      TcpOptions options;
+      options.bidirectional = true;
+      jain.push_back(RunTcpDownload(config, timing, options).jain_airtime);
+    }
+    std::printf("  rx accounting %-8s Jain = %.3f\n", rx ? "ON" : "OFF", MedianOf(jain));
+  }
+
+  std::printf("\nAblation (b): sparse-station optimisation (median sparse RTT)\n");
+  PrintHeaderRule();
+  for (bool sparse : {true, false}) {
+    std::vector<double> median_rtt;
+    for (int rep = 0; rep < reps; ++rep) {
+      const SparseStationResult r =
+          RunSparseStation(1200 + static_cast<uint64_t>(rep), sparse, /*tcp_bulk=*/true,
+                           timing);
+      median_rtt.push_back(r.sparse_ping_rtt_ms.Median());
+    }
+    std::printf("  optimisation %-8s median RTT = %.2f ms\n", sparse ? "ON" : "OFF",
+                MedianOf(median_rtt));
+  }
+
+  std::printf("\nAblation (c): airtime DRR quantum sweep (UDP, airtime scheme)\n");
+  PrintHeaderRule();
+  std::printf("  %10s %8s %12s\n", "quantum us", "Jain", "total Mbps");
+  for (int64_t quantum : {1000, 2000, 4000, 8000, 16000}) {
+    std::vector<double> jain;
+    std::vector<double> total;
+    for (int rep = 0; rep < reps; ++rep) {
+      TestbedConfig config;
+      config.seed = 1300 + static_cast<uint64_t>(rep);
+      config.scheme = QueueScheme::kAirtimeFair;
+      config.mac_backend.scheduler.quantum_us = quantum;
+      const StationMeasurements m = RunUdpDownload(config, timing);
+      jain.push_back(m.jain_airtime);
+      total.push_back(m.total_throughput_mbps);
+    }
+    std::printf("  %10lld %8.3f %12.2f\n", static_cast<long long>(quantum), MedianOf(jain),
+                MedianOf(total));
+  }
+
+  std::printf("\nAblation (d): per-station CoDel adaptation (slow station, TCP download)\n");
+  PrintHeaderRule();
+  for (bool adapt : {true, false}) {
+    std::vector<double> slow_tput;
+    std::vector<double> slow_rtt;
+    for (int rep = 0; rep < reps; ++rep) {
+      TestbedConfig config;
+      config.seed = 1400 + static_cast<uint64_t>(rep);
+      config.scheme = QueueScheme::kAirtimeFair;
+      config.mac_backend.codel_adaptation = adapt;
+      const StationMeasurements m = RunTcpDownload(config, timing);
+      slow_tput.push_back(m.throughput_mbps[2]);
+      slow_rtt.push_back(m.ping_rtt_ms[2].Median());
+    }
+    std::printf("  adaptation %-8s slow tput = %.2f Mbit/s, slow median RTT = %.1f ms\n",
+                adapt ? "ON" : "OFF", MedianOf(slow_tput), MedianOf(slow_rtt));
+  }
+  return 0;
+}

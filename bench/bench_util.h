@@ -1,0 +1,65 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench mirrors the paper's methodology on a reduced scale: several
+// repetitions with distinct seeds, reporting the median over the
+// per-repetition means (see the paper's footnote 2). Durations and
+// repetition counts default to values that keep each binary's wall time in
+// the seconds range; environment variables AIRFAIR_REPS and
+// AIRFAIR_SECONDS scale them up for full-fidelity runs.
+
+#ifndef AIRFAIR_BENCH_BENCH_UTIL_H_
+#define AIRFAIR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/scenario/experiments.h"
+#include "src/util/stats.h"
+
+namespace airfair {
+
+inline int BenchRepetitions(int fallback = 5) {
+  if (const char* env = std::getenv("AIRFAIR_REPS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return fallback;
+}
+
+inline ExperimentTiming BenchTiming(double default_measure_seconds = 20.0) {
+  double seconds = default_measure_seconds;
+  if (const char* env = std::getenv("AIRFAIR_SECONDS")) {
+    seconds = std::max(1.0, std::atof(env));
+  }
+  ExperimentTiming timing;
+  timing.warmup = TimeUs::FromSeconds(5);
+  timing.measure = TimeUs::FromSeconds(seconds);
+  return timing;
+}
+
+inline const std::vector<QueueScheme>& AllSchemes() {
+  static const std::vector<QueueScheme> schemes = {
+      QueueScheme::kFifo, QueueScheme::kFqCodel, QueueScheme::kFqMac,
+      QueueScheme::kAirtimeFair};
+  return schemes;
+}
+
+// Prints a latency CDF as quantile rows (the textual equivalent of the
+// paper's CDF figures).
+inline void PrintCdf(const std::string& label, const SampleSet& samples) {
+  static const double kQuantiles[] = {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+  std::printf("  %-28s n=%5zu |", label.c_str(), samples.count());
+  for (double q : kQuantiles) {
+    std::printf(" p%02.0f=%8.2f", q * 100, samples.Quantile(q));
+  }
+  std::printf("  (ms)\n");
+}
+
+inline void PrintHeaderRule() {
+  std::printf("%s\n", std::string(100, '-').c_str());
+}
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_BENCH_BENCH_UTIL_H_

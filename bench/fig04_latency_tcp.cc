@@ -1,0 +1,43 @@
+// Figures 1 & 4: latency CDF of ICMP ping during simultaneous bulk TCP
+// download, for fast and slow stations under each queue-management scheme.
+//
+// Paper shape: FIFO at several hundred ms; FQ-CoDel ~35 ms fast / ~200 ms
+// slow; FQ-MAC cuts the fast stations by another ~45% and brings the slow
+// station to the FQ-CoDel fast level; Airtime matches FQ-MAC.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace airfair;
+
+int main() {
+  std::printf("Figure 1/4: ping latency under simultaneous TCP download (ms quantiles)\n");
+  PrintHeaderRule();
+  const ExperimentTiming timing = BenchTiming(25);
+  const int reps = BenchRepetitions(3);
+
+  for (QueueScheme scheme : AllSchemes()) {
+    SampleSet fast;
+    SampleSet slow;
+    for (int rep = 0; rep < reps; ++rep) {
+      TestbedConfig config;
+      config.seed = 200 + static_cast<uint64_t>(rep);
+      config.scheme = scheme;
+      const StationMeasurements m = RunTcpDownload(config, timing);
+      for (double v : m.ping_rtt_ms[0].samples()) {
+        fast.Add(v);
+      }
+      for (double v : m.ping_rtt_ms[1].samples()) {
+        fast.Add(v);
+      }
+      for (double v : m.ping_rtt_ms[2].samples()) {
+        slow.Add(v);
+      }
+    }
+    std::printf("%s\n", SchemeName(scheme));
+    PrintCdf("fast stations", fast);
+    PrintCdf("slow station", slow);
+  }
+  return 0;
+}

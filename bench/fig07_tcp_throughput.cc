@@ -1,0 +1,39 @@
+// Figure 7: per-station TCP download throughput for the four schemes.
+//
+// Paper shape: fast stations gain as fairness improves (FIFO ~9 ->
+// Airtime ~32 Mbit/s each), the slow station loses (~5 -> ~2), and total
+// throughput rises monotonically toward the airtime scheduler.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace airfair;
+
+int main() {
+  std::printf("Figure 7: TCP download throughput per station (Mbit/s)\n");
+  PrintHeaderRule();
+  std::printf("%-10s %8s %8s %8s %8s %8s\n", "scheme", "fast-1", "fast-2", "slow", "avg",
+              "total");
+  const ExperimentTiming timing = BenchTiming(25);
+  const int reps = BenchRepetitions(3);
+  for (QueueScheme scheme : AllSchemes()) {
+    std::vector<double> tput[3];
+    for (int rep = 0; rep < reps; ++rep) {
+      TestbedConfig config;
+      config.seed = 500 + static_cast<uint64_t>(rep);
+      config.scheme = scheme;
+      const StationMeasurements m = RunTcpDownload(config, timing);
+      for (int i = 0; i < 3; ++i) {
+        tput[i].push_back(m.throughput_mbps[static_cast<size_t>(i)]);
+      }
+    }
+    const double f1 = MedianOf(tput[0]);
+    const double f2 = MedianOf(tput[1]);
+    const double sl = MedianOf(tput[2]);
+    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n", SchemeName(scheme), f1, f2, sl,
+                (f1 + f2 + sl) / 3, f1 + f2 + sl);
+  }
+  std::printf("\nPaper: FIFO ~9/9/5; FQ-CoDel ~19/19/2; FQ-MAC ~22/22/3; Airtime ~32/32/2.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 9 and the Section 4.1.5 scaling observations: airtime shares and
+// total throughput in the 30-station testbed (28 rate-diverse fast stations
+// + one 1 Mbit/s legacy station with bulk TCP, one ping-only station).
+//
+// Paper shape: the 1 Mbit/s station grabs about two thirds of the airtime
+// under FQ-CoDel; the airtime scheduler equalises all 29 bulk stations and
+// multiplies total throughput ~5.4x (3.3 -> 17.7 Mbit/s in their testbed).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace airfair;
+
+int main() {
+  std::printf("Figure 9 / Sec 4.1.5: 30-station testbed, TCP download\n");
+  PrintHeaderRule();
+  std::printf("%-10s %12s %10s %12s %12s %10s\n", "scheme", "slow share", "Jain",
+              "fast med", "slow tput", "total");
+  const ExperimentTiming timing = BenchTiming(20);
+  const int reps = BenchRepetitions(3);
+
+  TcpOptions options;
+  options.bulk.assign(30, true);
+  options.bulk[29] = false;  // The ping-only station.
+  options.ping.assign(30, false);
+  options.ping[29] = true;
+
+  double fq_total = 0;
+  double air_total = 0;
+  for (QueueScheme scheme :
+       {QueueScheme::kFqCodel, QueueScheme::kFqMac, QueueScheme::kAirtimeFair}) {
+    std::vector<double> slow_share;
+    std::vector<double> jain;
+    std::vector<double> fast_med;
+    std::vector<double> slow_tput;
+    std::vector<double> total;
+    for (int rep = 0; rep < reps; ++rep) {
+      const StationMeasurements m = RunTcpDownload(
+          ThirtyStationConfig(scheme, 700 + static_cast<uint64_t>(rep)), timing, options);
+      slow_share.push_back(m.airtime_share[28]);
+      jain.push_back(m.jain_airtime);
+      std::vector<double> fast(m.throughput_mbps.begin(), m.throughput_mbps.begin() + 28);
+      fast_med.push_back(MedianOf(fast));
+      slow_tput.push_back(m.throughput_mbps[28]);
+      total.push_back(m.total_throughput_mbps);
+    }
+    std::printf("%-10s %11.1f%% %10.3f %12.2f %12.2f %10.2f\n", SchemeName(scheme),
+                100 * MedianOf(slow_share), MedianOf(jain), MedianOf(fast_med),
+                MedianOf(slow_tput), MedianOf(total));
+    if (scheme == QueueScheme::kFqCodel) {
+      fq_total = MedianOf(total);
+    }
+    if (scheme == QueueScheme::kAirtimeFair) {
+      air_total = MedianOf(total);
+    }
+  }
+  std::printf("\nThroughput gain Airtime vs FQ-CoDel: %.1fx (paper: 5.4x)\n",
+              air_total / fq_total);
+  return 0;
+}

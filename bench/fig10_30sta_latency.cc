@@ -1,0 +1,53 @@
+// Figure 10: latency in the 30-station TCP test, fast vs slow station, per
+// scheme, plus the sparse (ping-only) station.
+//
+// Paper shape: the slow (1 Mbit/s) station's latency rises by an order of
+// magnitude under the airtime scheduler (it is throttled to its fair share)
+// while fast stations improve; average latency halves overall, and the
+// sparse station's latency halves with the optimisation at this scale.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace airfair;
+
+int main() {
+  std::printf("Figure 10: 30-station testbed ping latency (ms quantiles)\n");
+  PrintHeaderRule();
+  const ExperimentTiming timing = BenchTiming(20);
+  const int reps = BenchRepetitions(3);
+
+  TcpOptions options;
+  options.bulk.assign(30, true);
+  options.bulk[29] = false;
+  options.ping.assign(30, false);
+  options.ping[0] = true;   // A fast bulk station.
+  options.ping[28] = true;  // The 1 Mbit/s station.
+  options.ping[29] = true;  // The sparse station.
+
+  for (QueueScheme scheme :
+       {QueueScheme::kFqCodel, QueueScheme::kFqMac, QueueScheme::kAirtimeFair}) {
+    SampleSet fast;
+    SampleSet slow;
+    SampleSet sparse;
+    for (int rep = 0; rep < reps; ++rep) {
+      const StationMeasurements m = RunTcpDownload(
+          ThirtyStationConfig(scheme, 800 + static_cast<uint64_t>(rep)), timing, options);
+      for (double v : m.ping_rtt_ms[0].samples()) {
+        fast.Add(v);
+      }
+      for (double v : m.ping_rtt_ms[28].samples()) {
+        slow.Add(v);
+      }
+      for (double v : m.ping_rtt_ms[29].samples()) {
+        sparse.Add(v);
+      }
+    }
+    std::printf("%s\n", SchemeName(scheme));
+    PrintCdf("fast station", fast);
+    PrintCdf("slow (1 Mbit/s) station", slow);
+    PrintCdf("sparse station", sparse);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the paper's
+// algorithms: enqueue/dequeue of the per-TID MAC queue structure, the CoDel
+// control-law step, airtime computation, the scheduler round and flow
+// hashing. These are the per-packet costs the kernel implementation cares
+// about.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aqm/codel.h"
+#include "src/core/airtime_scheduler.h"
+#include "src/core/mac_queues.h"
+#include "src/mac/airtime.h"
+#include "src/util/flow_hash.h"
+#include "tests/test_util.h"
+
+namespace airfair {
+namespace {
+
+void BM_FlowHash(benchmark::State& state) {
+  FlowKey key{1, 2, 1000, 80, 6};
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    key.src_port++;
+    sink ^= HashFlow(key);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_MacQueuesEnqueueDequeue(benchmark::State& state) {
+  TimeUs now;
+  MacQueues queues([&now] { return now; }, MacQueues::Config());
+  const int flows = static_cast<int>(state.range(0));
+  uint16_t port = 0;
+  for (auto _ : state) {
+    now += TimeUs(10);
+    auto p = MakePacket(1500, static_cast<uint16_t>(1000 + (port++ % flows)));
+    queues.Enqueue(std::move(p), 0, 0);
+    benchmark::DoNotOptimize(queues.Dequeue(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacQueuesEnqueueDequeue)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_MacQueuesOverflowDrop(benchmark::State& state) {
+  TimeUs now;
+  MacQueues::Config config;
+  config.global_limit_packets = 256;
+  MacQueues queues([&now] { return now; }, config);
+  // Keep the structure at its limit: every enqueue triggers
+  // find_longest_queue + drop.
+  for (int i = 0; i < 256; ++i) {
+    queues.Enqueue(MakePacket(1500, static_cast<uint16_t>(i % 8)), i % 4, 0);
+  }
+  for (auto _ : state) {
+    now += TimeUs(10);
+    queues.Enqueue(MakePacket(), 0, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacQueuesOverflowDrop);
+
+void BM_CodelDequeue(benchmark::State& state) {
+  TimeUs now;
+  CoDelQdisc qdisc([&now] { return now; }, CoDelParams::Default(), 100000);
+  for (auto _ : state) {
+    now += TimeUs(100);
+    qdisc.Enqueue(MakePacket());
+    benchmark::DoNotOptimize(qdisc.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodelDequeue);
+
+void BM_AirtimeComputation(benchmark::State& state) {
+  const PhyRate rate = FastStationRate();
+  int n = 1;
+  for (auto _ : state) {
+    n = n % 32 + 1;
+    benchmark::DoNotOptimize(TransmissionAirtime(n, 1500, rate, true));
+  }
+}
+BENCHMARK(BM_AirtimeComputation);
+
+void BM_SchedulerRound(benchmark::State& state) {
+  AirtimeScheduler sched;
+  const int stations = static_cast<int>(state.range(0));
+  for (StationId s = 0; s < stations; ++s) {
+    sched.MarkBacklogged(s, AccessCategory::kBestEffort);
+  }
+  const auto has_data = [](StationId) { return true; };
+  for (auto _ : state) {
+    const StationId s = sched.NextStation(AccessCategory::kBestEffort, has_data);
+    sched.ChargeAirtime(s, AccessCategory::kBestEffort, TimeUs(2800));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRound)->Arg(3)->Arg(30)->Arg(300);
+
+}  // namespace
+}  // namespace airfair
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Quickstart: the paper's headline result in ~40 lines.
+//
+// Runs saturating downstream UDP to two fast stations (144.4 Mbit/s) and one
+// slow station (7.2 Mbit/s) under each of the four queue-management schemes
+// and prints per-station airtime shares and throughput. Under FIFO, the slow
+// station hogs ~80% of the airtime (the 802.11 performance anomaly); under
+// the airtime-fair scheduler every station gets one third, and total
+// throughput rises several-fold.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/scenario/experiments.h"
+#include "src/scenario/testbed.h"
+
+using namespace airfair;
+
+int main() {
+  std::printf("802.11 performance anomaly demo: 2 fast stations + 1 slow station, UDP down\n\n");
+  std::printf("%-10s | %-28s | %-28s | %s\n", "scheme", "airtime share (f1/f2/slow)",
+              "throughput Mbps (f1/f2/slow)", "total");
+  std::printf("-----------+------------------------------+------------------------------+------\n");
+
+  for (QueueScheme scheme : {QueueScheme::kFifo, QueueScheme::kFqCodel, QueueScheme::kFqMac,
+                             QueueScheme::kAirtimeFair}) {
+    TestbedConfig config;
+    config.seed = 42;
+    config.scheme = scheme;
+
+    ExperimentTiming timing;
+    timing.warmup = TimeUs::FromSeconds(2);
+    timing.measure = TimeUs::FromSeconds(8);
+
+    const StationMeasurements m = RunUdpDownload(config, timing);
+    std::printf("%-10s |   %5.1f%% %5.1f%% %5.1f%%        |   %6.1f %6.1f %6.1f       | %5.1f\n",
+                SchemeName(scheme), 100 * m.airtime_share[0], 100 * m.airtime_share[1],
+                100 * m.airtime_share[2], m.throughput_mbps[0], m.throughput_mbps[1],
+                m.throughput_mbps[2], m.total_throughput_mbps);
+  }
+  std::printf("\nCompare with the paper's Table 1: FIFO ~10/11/79%% airtime, airtime-fair\n"
+              "~33%% each with a ~4-5x total throughput gain.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The sparse-station optimisation, hands-on.
+//
+// A laptop that only sends a ping now and then shares the access point with
+// three stations running bulk transfers. The airtime scheduler's new-station
+// list gives such "sparse" stations one priority round of scheduling —
+// Section 3.2, improvement #3, evaluated in the paper's Figure 8.
+//
+// This example also demonstrates composing a custom scenario directly
+// against the library API (Testbed + traffic endpoints) rather than using a
+// canned experiment runner.
+//
+// Build & run:  ./build/examples/sparse_station
+
+#include <cstdio>
+
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/scenario/testbed.h"
+
+using namespace airfair;
+
+namespace {
+
+double MedianSparseRtt(bool optimisation_enabled) {
+  TestbedConfig config;
+  config.seed = 7;
+  config.scheme = QueueScheme::kAirtimeFair;
+  config.stations = ThreeStationSetup();
+  config.stations.push_back(FastStation("laptop"));
+  config.mac_backend.scheduler.sparse_station_optimization = optimisation_enabled;
+  Testbed tb(config);
+
+  // Bulk TCP downloads to the three busy stations.
+  std::vector<std::unique_ptr<TcpListener>> listeners;
+  std::vector<std::unique_ptr<TcpSocket>> senders;
+  for (int i = 0; i < 3; ++i) {
+    listeners.push_back(std::make_unique<TcpListener>(tb.station_host(i), 5001, TcpConfig()));
+    auto sender = std::make_unique<TcpSocket>(tb.server_host(), TcpConfig());
+    sender->Connect(tb.station_node(i), 5001);
+    sender->WriteForever();
+    senders.push_back(std::move(sender));
+  }
+
+  // The laptop only gets pinged.
+  PingSender::Config ping_config;
+  ping_config.interval = TimeUs::FromMilliseconds(100);
+  PingSender ping(tb.server_host(), tb.station_node(3), ping_config);
+  ping.Start();
+
+  tb.sim().RunFor(TimeUs::FromSeconds(3));  // Warmup.
+  ping.StartMeasuring(tb.sim().now());
+  tb.sim().RunFor(TimeUs::FromSeconds(15));
+  return ping.rtt_ms().Median();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sparse-station optimisation demo (airtime-fair scheduler)\n");
+  std::printf("3 stations saturated with bulk TCP; a 4th only answers pings.\n\n");
+  const double with_opt = MedianSparseRtt(true);
+  const double without_opt = MedianSparseRtt(false);
+  std::printf("  median ping RTT, optimisation ON : %6.2f ms\n", with_opt);
+  std::printf("  median ping RTT, optimisation OFF: %6.2f ms\n", without_opt);
+  std::printf("  reduction: %.0f%%  (paper reports 10-15%% in the 4-station testbed)\n",
+              100.0 * (1.0 - with_opt / without_opt));
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "src/apps/emodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airfair {
+
+namespace {
+
+// G.107 default: R0 - Is with all audio parameters at their defaults.
+constexpr double kBaseR = 93.2;
+// G.711 with packet loss concealment (ITU-T G.113 Appendix I).
+constexpr double kIe = 0.0;
+constexpr double kBpl = 25.1;
+constexpr double kBurstR = 1.0;  // Random (non-bursty) loss.
+
+}  // namespace
+
+double EModelRFactor(const EModelInput& input) {
+  // The jitter buffer must absorb the jitter; model it as added delay.
+  const double d = input.one_way_delay_ms + 2.0 * input.jitter_ms;
+
+  // Delay impairment Id (G.107 simplified form, widely used for VoIP
+  // monitoring): linear term plus a penalty past 177.3 ms.
+  double id = 0.024 * d;
+  if (d > 177.3) {
+    id += 0.11 * (d - 177.3);
+  }
+
+  // Equipment impairment with packet loss.
+  const double ppl = std::clamp(input.packet_loss_pct, 0.0, 100.0);
+  const double ie_eff = kIe + (95.0 - kIe) * ppl / (ppl / kBurstR + kBpl);
+
+  return kBaseR - id - ie_eff;
+}
+
+double MosFromRFactor(double r) {
+  if (r <= 0) {
+    return 1.0;
+  }
+  if (r >= 100) {
+    return 4.5;
+  }
+  const double mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+  return std::clamp(mos, 1.0, 4.5);
+}
+
+double EstimateMos(const EModelInput& input) { return MosFromRFactor(EModelRFactor(input)); }
+
+}  // namespace airfair

@@ -1,0 +1,31 @@
+// ITU-T G.107 E-model MOS estimation (used for Table 2).
+//
+// Following the paper: all audio/codec parameters are fixed at their default
+// values and the MOS estimate is computed from the measured delay, jitter
+// and packet loss. We assume the G.711 codec with packet-loss concealment
+// (Ie = 0, Bpl = 25.1) and treat the measured jitter as additional buffer
+// delay. The model yields MOS values in the paper's stated range 1 - 4.5.
+
+#ifndef AIRFAIR_SRC_APPS_EMODEL_H_
+#define AIRFAIR_SRC_APPS_EMODEL_H_
+
+namespace airfair {
+
+struct EModelInput {
+  double one_way_delay_ms = 0;
+  double jitter_ms = 0;
+  double packet_loss_pct = 0;  // 0-100.
+};
+
+// Transmission rating factor R (0-100 scale).
+double EModelRFactor(const EModelInput& input);
+
+// Standard G.107 R -> MOS mapping, clamped to [1, 4.5].
+double MosFromRFactor(double r);
+
+// Convenience: EstimateMos = MosFromRFactor(EModelRFactor(input)).
+double EstimateMos(const EModelInput& input);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_APPS_EMODEL_H_

@@ -1,0 +1,117 @@
+#include "src/aqm/codel.h"
+
+#include <cmath>
+#include <utility>
+
+namespace airfair {
+
+TimeUs CoDelState::ControlLaw(TimeUs t, TimeUs interval, uint32_t count) {
+  if (count == 0) {
+    count = 1;
+  }
+  const double next = static_cast<double>(interval.us()) / std::sqrt(static_cast<double>(count));
+  return t + TimeUs(static_cast<int64_t>(next));
+}
+
+CoDelState::DodequeueResult CoDelState::Dodequeue(TimeUs now, const CoDelParams& params,
+                                                  const PullFn& pull) {
+  DodequeueResult r;
+  r.packet = pull();
+  if (r.packet == nullptr) {
+    first_above_time_ = TimeUs::Zero();
+    return r;
+  }
+  const TimeUs sojourn = now - r.packet->enqueued;
+  if (sojourn < params.target) {
+    // Below target: leave the dropping-decision window.
+    first_above_time_ = TimeUs::Zero();
+  } else {
+    if (first_above_time_.IsZero()) {
+      // Just crossed target: start the interval clock.
+      first_above_time_ = now + params.interval;
+    } else if (now >= first_above_time_) {
+      r.ok_to_drop = true;
+    }
+  }
+  return r;
+}
+
+PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullFn& pull,
+                              const DropFn& drop) {
+  DodequeueResult r = Dodequeue(now, params, pull);
+  if (r.packet == nullptr) {
+    dropping_ = false;
+    return nullptr;
+  }
+  if (dropping_) {
+    if (!r.ok_to_drop) {
+      dropping_ = false;
+    } else {
+      while (now >= drop_next_ && dropping_) {
+        drop(std::move(r.packet));
+        ++drop_count_;
+        ++count_;
+        r = Dodequeue(now, params, pull);
+        if (!r.ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = ControlLaw(drop_next_, params.interval, count_);
+        }
+      }
+    }
+  } else if (r.ok_to_drop) {
+    // Enter dropping state: drop this packet and dequeue the next.
+    drop(std::move(r.packet));
+    ++drop_count_;
+    r = Dodequeue(now, params, pull);
+    dropping_ = true;
+    // If we were dropping recently, resume near the prior drop rate
+    // (RFC 8289's count hysteresis).
+    const uint32_t delta = count_ - lastcount_;
+    if (delta > 1 && now - drop_next_ < 16 * params.interval) {
+      count_ = delta;
+    } else {
+      count_ = 1;
+    }
+    lastcount_ = count_;
+    drop_next_ = ControlLaw(now, params.interval, count_);
+  }
+  return std::move(r.packet);
+}
+
+void CoDelState::Reset() {
+  first_above_time_ = TimeUs::Zero();
+  drop_next_ = TimeUs::Zero();
+  count_ = 0;
+  lastcount_ = 0;
+  dropping_ = false;
+}
+
+CoDelQdisc::CoDelQdisc(std::function<TimeUs()> clock, const CoDelParams& params,
+                       int limit_packets)
+    : clock_(std::move(clock)), params_(params), limit_(limit_packets) {}
+
+void CoDelQdisc::Enqueue(PacketPtr packet) {
+  if (static_cast<int>(queue_.size()) >= limit_) {
+    ++drops_;
+    return;
+  }
+  packet->enqueued = clock_();
+  queue_.push_back(std::move(packet));
+}
+
+PacketPtr CoDelQdisc::Dequeue() {
+  return state_.Dequeue(
+      clock_(), params_,
+      [this]() -> PacketPtr {
+        if (queue_.empty()) {
+          return nullptr;
+        }
+        PacketPtr p = std::move(queue_.front());
+        queue_.pop_front();
+        return p;
+      },
+      [this](PacketPtr) { ++drops_; });
+}
+
+}  // namespace airfair

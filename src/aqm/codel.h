@@ -1,0 +1,93 @@
+// CoDel AQM (Nichols & Jacobson, RFC 8289).
+//
+// CoDelState holds the per-queue controller state and runs the control law
+// against any backing queue, supplied as a pull callback. This is the shape
+// the algorithm takes inside FQ-CoDel and inside the paper's per-TID MAC
+// queues: one CoDelState per flow queue, applied at dequeue time.
+//
+// The parameters are a separate struct because the paper's Section 3.1.1
+// adapts them *per station*: target 50 ms / interval 300 ms when the
+// station's expected throughput drops below 12 Mbit/s.
+
+#ifndef AIRFAIR_SRC_AQM_CODEL_H_
+#define AIRFAIR_SRC_AQM_CODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/aqm/queue_discipline.h"
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+struct CoDelParams {
+  TimeUs target = TimeUs::FromMilliseconds(5);
+  TimeUs interval = TimeUs::FromMilliseconds(100);
+
+  static CoDelParams Default() { return CoDelParams{}; }
+  // The paper's low-rate setting for stations below 12 Mbit/s.
+  static CoDelParams LowRate() {
+    return CoDelParams{TimeUs::FromMilliseconds(50), TimeUs::FromMilliseconds(300)};
+  }
+};
+
+class CoDelState {
+ public:
+  using PullFn = std::function<PacketPtr()>;
+  using DropFn = std::function<void(PacketPtr)>;
+
+  // Runs the CoDel control law: pulls packets via `pull`, dropping those the
+  // law selects (handing them to `drop`), and returns the first survivor (or
+  // nullptr if the backing queue drained). `now` is the dequeue time; sojourn
+  // time is measured against Packet::enqueued.
+  PacketPtr Dequeue(TimeUs now, const CoDelParams& params, const PullFn& pull,
+                    const DropFn& drop);
+
+  int64_t drop_count() const { return drop_count_; }
+  bool dropping() const { return dropping_; }
+
+  void Reset();
+
+ private:
+  struct DodequeueResult {
+    PacketPtr packet;
+    bool ok_to_drop = false;
+  };
+
+  DodequeueResult Dodequeue(TimeUs now, const CoDelParams& params, const PullFn& pull);
+  static TimeUs ControlLaw(TimeUs t, TimeUs interval, uint32_t count);
+
+  TimeUs first_above_time_ = TimeUs::Zero();
+  TimeUs drop_next_ = TimeUs::Zero();
+  uint32_t count_ = 0;
+  uint32_t lastcount_ = 0;
+  bool dropping_ = false;
+  int64_t drop_count_ = 0;
+};
+
+// A single CoDel-managed FIFO as a standalone qdisc (the classic `codel`
+// qdisc; used in tests and as a building block).
+class CoDelQdisc : public Qdisc {
+ public:
+  // `clock` supplies the current time at enqueue/dequeue.
+  CoDelQdisc(std::function<TimeUs()> clock, const CoDelParams& params, int limit_packets = 1000);
+
+  void Enqueue(PacketPtr packet) override;
+  PacketPtr Dequeue() override;
+  int packet_count() const override { return static_cast<int>(queue_.size()); }
+
+  const CoDelState& state() const { return state_; }
+
+ private:
+  std::function<TimeUs()> clock_;
+  CoDelParams params_;
+  int limit_;
+  std::deque<PacketPtr> queue_;
+  CoDelState state_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_AQM_CODEL_H_

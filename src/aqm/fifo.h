@@ -1,0 +1,47 @@
+// PFIFO: the Linux default qdisc the paper benchmarks as "FIFO".
+//
+// A single tail-drop queue with a packet-count limit (the kernel default
+// txqueuelen is 1000). This is the configuration that produces the "several
+// hundred milliseconds of added latency" in the paper's Figure 1.
+
+#ifndef AIRFAIR_SRC_AQM_FIFO_H_
+#define AIRFAIR_SRC_AQM_FIFO_H_
+
+#include <deque>
+
+#include "src/aqm/queue_discipline.h"
+
+namespace airfair {
+
+class FifoQdisc : public Qdisc {
+ public:
+  explicit FifoQdisc(int limit_packets = 1000) : limit_(limit_packets) {}
+
+  void Enqueue(PacketPtr packet) override {
+    if (static_cast<int>(queue_.size()) >= limit_) {
+      ++drops_;
+      return;
+    }
+    queue_.push_back(std::move(packet));
+  }
+
+  PacketPtr Dequeue() override {
+    if (queue_.empty()) {
+      return nullptr;
+    }
+    PacketPtr p = std::move(queue_.front());
+    queue_.pop_front();
+    return p;
+  }
+
+  int packet_count() const override { return static_cast<int>(queue_.size()); }
+  int limit() const { return limit_; }
+
+ private:
+  int limit_;
+  std::deque<PacketPtr> queue_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_AQM_FIFO_H_

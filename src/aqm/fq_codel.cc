@@ -1,0 +1,118 @@
+#include "src/aqm/fq_codel.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/util/flow_hash.h"
+
+namespace airfair {
+
+FqCodelQdisc::FqCodelQdisc(std::function<TimeUs()> clock, const FqCodelConfig& config)
+    : clock_(std::move(clock)), config_(config), queues_(config.flows) {}
+
+FqCodelQdisc::FlowQueue* FqCodelQdisc::FattestQueue() {
+  FlowQueue* fattest = nullptr;
+  for (auto& q : queues_) {
+    if (!q.packets.empty() && (fattest == nullptr || q.bytes > fattest->bytes)) {
+      fattest = &q;
+    }
+  }
+  return fattest;
+}
+
+void FqCodelQdisc::DropFromFattest() {
+  FlowQueue* q = FattestQueue();
+  if (q == nullptr || q->packets.empty()) {
+    return;
+  }
+  // fq_codel drops from the head of the fattest flow.
+  PacketPtr victim = std::move(q->packets.front());
+  q->packets.pop_front();
+  q->bytes -= victim->size_bytes;
+  --total_packets_;
+  ++overflow_drops_;
+  ++drops_;
+}
+
+void FqCodelQdisc::Enqueue(PacketPtr packet) {
+  const uint64_t h = HashFlow(packet->flow, config_.hash_perturbation);
+  FlowQueue& q = queues_[h % queues_.size()];
+  packet->enqueued = clock_();
+  q.bytes += packet->size_bytes;
+  q.packets.push_back(std::move(packet));
+  ++total_packets_;
+  if (!q.node.linked()) {
+    // Queue just became backlogged: it is a "new" flow and gets one
+    // priority round (the sparse-flow optimisation).
+    q.is_new = true;
+    q.deficit = config_.quantum_bytes;
+    new_flows_.PushBack(&q);
+  }
+  while (total_packets_ > config_.limit_packets) {
+    DropFromFattest();
+  }
+}
+
+PacketPtr FqCodelQdisc::Dequeue() {
+  const TimeUs now = clock_();
+  for (;;) {
+    FlowQueue* q = nullptr;
+    bool from_new = false;
+    if (!new_flows_.empty()) {
+      q = new_flows_.Front();
+      from_new = true;
+    } else if (!old_flows_.empty()) {
+      q = old_flows_.Front();
+    } else {
+      return nullptr;
+    }
+    if (q->deficit <= 0) {
+      q->deficit += config_.quantum_bytes;
+      q->is_new = false;
+      old_flows_.MoveToBack(q);
+      continue;
+    }
+    PacketPtr packet = q->codel.Dequeue(
+        now, config_.codel,
+        [this, q]() -> PacketPtr {
+          if (q->packets.empty()) {
+            return nullptr;
+          }
+          PacketPtr p = std::move(q->packets.front());
+          q->packets.pop_front();
+          q->bytes -= p->size_bytes;
+          --total_packets_;
+          return p;
+        },
+        [this](PacketPtr) {
+          ++codel_drops_;
+          ++drops_;
+        });
+    if (packet == nullptr) {
+      // Queue drained. A new-list queue is moved to the old list (anti-
+      // gaming: it must earn sparse status again); an old-list queue is
+      // removed entirely.
+      if (from_new) {
+        q->is_new = false;
+        old_flows_.MoveToBack(q);
+      } else {
+        q->node.Unlink();
+      }
+      continue;
+    }
+    q->deficit -= packet->size_bytes;
+    return packet;
+  }
+}
+
+int FqCodelQdisc::active_flows() const {
+  int n = 0;
+  for (const auto& q : queues_) {
+    if (!q.packets.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace airfair

@@ -1,0 +1,73 @@
+// FQ-CoDel qdisc (RFC 8290), the paper's second baseline configuration.
+//
+// Flow queueing with a deficit round-robin scheduler, per-flow CoDel, the
+// sparse-flow optimisation (new-flow list gets priority for one round), and
+// drop-from-fattest-queue on overflow. Matches the Linux fq_codel defaults:
+// 1024 flow queues, 10240-packet limit, quantum = one MTU.
+//
+// The paper's contribution in src/core reuses these mechanisms but groups the
+// flow queues per TID so aggregation stays possible — see
+// src/core/mac_queues.h.
+
+#ifndef AIRFAIR_SRC_AQM_FQ_CODEL_H_
+#define AIRFAIR_SRC_AQM_FQ_CODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/aqm/codel.h"
+#include "src/aqm/queue_discipline.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+struct FqCodelConfig {
+  int flows = 1024;
+  int limit_packets = 10240;
+  int quantum_bytes = 1514;
+  CoDelParams codel;
+  uint64_t hash_perturbation = 0;
+};
+
+class FqCodelQdisc : public Qdisc {
+ public:
+  FqCodelQdisc(std::function<TimeUs()> clock, const FqCodelConfig& config);
+
+  void Enqueue(PacketPtr packet) override;
+  PacketPtr Dequeue() override;
+  int packet_count() const override { return total_packets_; }
+
+  // Number of distinct flow queues currently backlogged.
+  int active_flows() const;
+  int64_t codel_drops() const { return codel_drops_; }
+  int64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  struct FlowQueue {
+    std::deque<PacketPtr> packets;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    CoDelState codel;
+    ListNode node;  // On new_flows_ or old_flows_ when backlogged.
+    bool is_new = false;
+  };
+
+  FlowQueue* FattestQueue();
+  void DropFromFattest();
+
+  std::function<TimeUs()> clock_;
+  FqCodelConfig config_;
+  std::vector<FlowQueue> queues_;
+  IntrusiveList<FlowQueue, &FlowQueue::node> new_flows_;
+  IntrusiveList<FlowQueue, &FlowQueue::node> old_flows_;
+  int total_packets_ = 0;
+  int64_t codel_drops_ = 0;
+  int64_t overflow_drops_ = 0;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_AQM_FQ_CODEL_H_

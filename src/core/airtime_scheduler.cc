@@ -1,0 +1,91 @@
+#include "src/core/airtime_scheduler.h"
+
+namespace airfair {
+
+AirtimeScheduler::AirtimeScheduler(const Config& config) : config_(config) {}
+
+AirtimeScheduler::AirtimeScheduler() : AirtimeScheduler(Config()) {}
+
+AirtimeScheduler::StationState& AirtimeScheduler::StateOf(StationId station,
+                                                          AccessCategory ac) {
+  while (station >= static_cast<StationId>(stations_.size())) {
+    auto entry = std::make_unique<std::array<StationState, kNumAccessCategories>>();
+    for (auto& state : *entry) {
+      state.station = static_cast<StationId>(stations_.size());
+    }
+    stations_.push_back(std::move(entry));
+  }
+  return (*stations_[static_cast<size_t>(station)])[static_cast<size_t>(ac)];
+}
+
+void AirtimeScheduler::MarkBacklogged(StationId station, AccessCategory ac) {
+  StationState& state = StateOf(station, ac);
+  if (state.node.linked()) {
+    return;  // Already scheduled.
+  }
+  // A newly scheduled station starts with a fresh quantum, mirroring
+  // FQ-CoDel's handling of newly active queues (without this the sparse
+  // priority round could be consumed by a leftover deficit).
+  state.deficit_us = config_.quantum_us;
+  AcState& lists = acs_[static_cast<size_t>(ac)];
+  if (config_.sparse_station_optimization) {
+    // A newly backlogged station gets one priority round ("temporary
+    // priority for one round of scheduling (but not more)").
+    lists.new_stations.PushBack(&state);
+  } else {
+    lists.old_stations.PushBack(&state);
+  }
+}
+
+StationId AirtimeScheduler::NextStation(AccessCategory ac,
+                                        const std::function<bool(StationId)>& has_data) {
+  AcState& lists = acs_[static_cast<size_t>(ac)];
+  // Algorithm 3, lines 2-18 (the caller implements the hardware-queue loop
+  // and build_aggregate).
+  for (;;) {
+    StationState* state = nullptr;
+    bool from_new = false;
+    if (!lists.new_stations.empty()) {
+      state = lists.new_stations.Front();
+      from_new = true;
+    } else if (!lists.old_stations.empty()) {
+      state = lists.old_stations.Front();
+    } else {
+      return kNoStation;
+    }
+    if (state->deficit_us <= 0) {
+      state->deficit_us += config_.quantum_us;
+      lists.old_stations.MoveToBack(state);
+      continue;  // restart
+    }
+    if (!has_data(state->station)) {
+      // Lines 13-18: anti-gaming — emptied new-list stations are demoted to
+      // the old list; emptied old-list stations are removed.
+      if (from_new) {
+        lists.old_stations.MoveToBack(state);
+      } else {
+        state->node.Unlink();
+      }
+      continue;  // restart
+    }
+    return state->station;
+  }
+}
+
+void AirtimeScheduler::ChargeAirtime(StationId station, AccessCategory ac, TimeUs airtime) {
+  StateOf(station, ac).deficit_us -= airtime.us();
+}
+
+int64_t AirtimeScheduler::DeficitUs(StationId station, AccessCategory ac) const {
+  if (station < 0 || station >= static_cast<StationId>(stations_.size())) {
+    return 0;
+  }
+  return (*stations_[static_cast<size_t>(station)])[static_cast<size_t>(ac)].deficit_us;
+}
+
+bool AirtimeScheduler::HasBacklogged(AccessCategory ac) const {
+  const AcState& lists = acs_[static_cast<size_t>(ac)];
+  return !lists.new_stations.empty() || !lists.old_stations.empty();
+}
+
+}  // namespace airfair

@@ -1,0 +1,54 @@
+#include "src/core/codel_adaptation.h"
+
+#include <utility>
+
+namespace airfair {
+
+CodelAdaptation::CodelAdaptation(std::function<TimeUs()> clock, const Config& config)
+    : clock_(std::move(clock)), config_(config) {}
+
+CodelAdaptation::CodelAdaptation(std::function<TimeUs()> clock)
+    : CodelAdaptation(std::move(clock), Config()) {}
+
+void CodelAdaptation::UpdateExpectedThroughput(StationId station, double bps) {
+  if (station < 0) {
+    return;
+  }
+  if (station >= static_cast<StationId>(states_.size())) {
+    states_.resize(static_cast<size_t>(station) + 1);
+  }
+  State& state = states_[static_cast<size_t>(station)];
+  const bool want_low = bps < config_.threshold_bps;
+  const TimeUs now = clock_();
+  if (!state.initialized) {
+    // First estimate applies immediately; the hysteresis clock starts now.
+    state.low_rate = want_low;
+    state.initialized = true;
+    state.last_change = now;
+    return;
+  }
+  if (want_low == state.low_rate) {
+    return;
+  }
+  if (now - state.last_change < config_.hysteresis) {
+    return;  // Within the hysteresis window: hold the current setting.
+  }
+  state.low_rate = want_low;
+  state.last_change = now;
+}
+
+CoDelParams CodelAdaptation::ParamsFor(StationId station) const {
+  if (IsLowRate(station)) {
+    return config_.low_rate;
+  }
+  return config_.normal;
+}
+
+bool CodelAdaptation::IsLowRate(StationId station) const {
+  if (station < 0 || station >= static_cast<StationId>(states_.size())) {
+    return false;
+  }
+  return states_[static_cast<size_t>(station)].low_rate;
+}
+
+}  // namespace airfair

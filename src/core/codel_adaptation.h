@@ -1,0 +1,58 @@
+// Per-station CoDel parameter adaptation (Section 3.1.1).
+//
+// CoDel's default 5 ms target is too aggressive for slow WiFi links, where a
+// single aggregate can occupy the medium for several milliseconds. The paper
+// uses "a simple threshold combined with an estimate of the station's
+// current throughput, obtained from the rate selection algorithm, changing
+// CoDel's target to 50 ms and interval to 300 ms when the expected rate
+// drops below 12 Mbps", with hysteresis so values change at most once every
+// two seconds.
+
+#ifndef AIRFAIR_SRC_CORE_CODEL_ADAPTATION_H_
+#define AIRFAIR_SRC_CORE_CODEL_ADAPTATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/aqm/codel.h"
+#include "src/mac/frame.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+class CodelAdaptation {
+ public:
+  struct Config {
+    double threshold_bps = 12e6;
+    TimeUs hysteresis = TimeUs::FromSeconds(2);
+    CoDelParams normal = CoDelParams::Default();   // target 5 ms / interval 100 ms
+    CoDelParams low_rate = CoDelParams::LowRate(); // target 50 ms / interval 300 ms
+  };
+
+  CodelAdaptation(std::function<TimeUs()> clock, const Config& config);
+  explicit CodelAdaptation(std::function<TimeUs()> clock);
+
+  // Feeds the rate-selection throughput estimate for `station`. Parameter
+  // switches obey the hysteresis window.
+  void UpdateExpectedThroughput(StationId station, double bps);
+
+  // Current parameters for `station` (normal for unknown stations).
+  CoDelParams ParamsFor(StationId station) const;
+
+  bool IsLowRate(StationId station) const;
+
+ private:
+  struct State {
+    bool low_rate = false;
+    bool initialized = false;
+    TimeUs last_change = TimeUs::Zero();
+  };
+
+  std::function<TimeUs()> clock_;
+  Config config_;
+  std::vector<State> states_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_CORE_CODEL_ADAPTATION_H_

@@ -1,0 +1,181 @@
+#include "src/core/mac_queue_backend.h"
+
+#include <utility>
+
+#include "src/mac/aggregation.h"
+
+namespace airfair {
+
+MacQueueBackend::MacQueueBackend(Simulation* sim, const StationTable* stations,
+                                 uint32_t ap_node_id, const Config& config)
+    : sim_(sim),
+      stations_(stations),
+      ap_node_id_(ap_node_id),
+      config_(config),
+      queues_([sim] { return sim->now(); }, config.queues),
+      scheduler_(config.scheduler),
+      adaptation_([sim] { return sim->now(); }, config.adaptation) {
+  if (config_.codel_adaptation) {
+    queues_.set_codel_params_provider(
+        [this](StationId station) { return adaptation_.ParamsFor(station); });
+  }
+}
+
+MacQueueBackend::MacQueueBackend(Simulation* sim, const StationTable* stations,
+                                 uint32_t ap_node_id)
+    : MacQueueBackend(sim, stations, ap_node_id, Config()) {}
+
+void MacQueueBackend::MarkBacklogged(StationId station, Tid tid) {
+  const AccessCategory ac = AcForTid(tid);
+  if (config_.airtime_fairness) {
+    scheduler_.MarkBacklogged(station, ac);
+    return;
+  }
+  const int key = KeyOf(station, tid);
+  if (in_ring_.insert(key).second) {
+    ring_[static_cast<size_t>(ac)].push_back(key);
+  }
+}
+
+void MacQueueBackend::Enqueue(PacketPtr packet, StationId station) {
+  // Refresh the rate-selection throughput estimate driving the CoDel
+  // adaptation.
+  adaptation_.UpdateExpectedThroughput(
+      station, stations_->Get(station).rate.bps * config_.rate_efficiency);
+  const Tid tid = packet->tid;
+  queues_.Enqueue(std::move(packet), station, tid);
+  MarkBacklogged(station, tid);
+}
+
+bool MacQueueBackend::HasData(StationId station, AccessCategory ac) const {
+  for (Tid tid = 0; tid < kNumTids; ++tid) {
+    if (AcForTid(tid) != ac) {
+      continue;
+    }
+    if (queues_.TidBacklog(station, tid) > 0) {
+      return true;
+    }
+    const auto it = retry_.find(station * kNumTids + tid);
+    if (it != retry_.end() && !it->second.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tid MacQueueBackend::FirstBackloggedTid(StationId station, AccessCategory ac) const {
+  for (Tid tid = 0; tid < kNumTids; ++tid) {
+    if (AcForTid(tid) != ac) {
+      continue;
+    }
+    if (queues_.TidBacklog(station, tid) > 0) {
+      return tid;
+    }
+    const auto it = retry_.find(station * kNumTids + tid);
+    if (it != retry_.end() && !it->second.empty()) {
+      return tid;
+    }
+  }
+  return kBestEffortTid;
+}
+
+bool MacQueueBackend::HasPending(AccessCategory ac) {
+  if (config_.airtime_fairness) {
+    return scheduler_.HasBacklogged(ac);
+  }
+  return !ring_[static_cast<size_t>(ac)].empty();
+}
+
+TxDescriptor MacQueueBackend::BuildFor(StationId station, Tid tid) {
+  const StationInfo& info = stations_->Get(station);
+  auto& retry = retry_[KeyOf(station, tid)];
+
+  AggregationSource source;
+  source.peek_bytes = [this, &retry, station, tid]() -> int {
+    if (!retry.empty()) {
+      return retry.front().packet->size_bytes;
+    }
+    return queues_.PeekBytes(station, tid);
+  };
+  source.pop = [this, &retry, station, tid]() -> Mpdu {
+    if (!retry.empty()) {
+      Mpdu m = std::move(retry.front());
+      retry.pop_front();
+      return m;
+    }
+    Mpdu m;
+    m.packet = queues_.Dequeue(station, tid);
+    return m;
+  };
+
+  // BuildAggregate skips null pops (CoDel can drop the remaining backlog
+  // mid-build), so the descriptor only ever contains live packets.
+  return BuildAggregate(ap_node_id_, info.node_id, station, tid, info.rate,
+                        AggregationAllowed(AcForTid(tid), info.rate), source);
+}
+
+TxDescriptor MacQueueBackend::BuildNext(AccessCategory ac) {
+  if (config_.airtime_fairness) {
+    const StationId station = scheduler_.NextStation(
+        ac, [this, ac](StationId s) { return HasData(s, ac); });
+    if (station == kNoStation) {
+      return TxDescriptor{};
+    }
+    return BuildFor(station, FirstBackloggedTid(station, ac));
+  }
+
+  auto& ring = ring_[static_cast<size_t>(ac)];
+  while (!ring.empty()) {
+    const int key = ring.front();
+    ring.pop_front();
+    const StationId station = key / kNumTids;
+    const Tid tid = static_cast<Tid>(key % kNumTids);
+    const bool has_retry = [&] {
+      const auto it = retry_.find(key);
+      return it != retry_.end() && !it->second.empty();
+    }();
+    if (queues_.TidBacklog(station, tid) == 0 && !has_retry) {
+      in_ring_.erase(key);
+      continue;
+    }
+    TxDescriptor tx = BuildFor(station, tid);
+    const bool still_backlogged = queues_.TidBacklog(station, tid) > 0 ||
+                                  (retry_.count(key) != 0 && !retry_[key].empty());
+    if (still_backlogged) {
+      ring.push_back(key);
+    } else {
+      in_ring_.erase(key);
+    }
+    if (!tx.empty()) {
+      return tx;
+    }
+  }
+  return TxDescriptor{};
+}
+
+void MacQueueBackend::Requeue(StationId station, Tid tid, Mpdu mpdu) {
+  retry_[KeyOf(station, tid)].push_back(std::move(mpdu));
+  MarkBacklogged(station, tid);
+}
+
+void MacQueueBackend::AccountTxAirtime(StationId station, AccessCategory ac, TimeUs airtime) {
+  if (config_.airtime_fairness && station >= 0) {
+    scheduler_.ChargeAirtime(station, ac, airtime);
+  }
+}
+
+void MacQueueBackend::AccountRxAirtime(StationId station, AccessCategory ac, TimeUs airtime) {
+  if (config_.airtime_fairness && config_.rx_airtime_accounting && station >= 0) {
+    scheduler_.ChargeAirtime(station, ac, airtime);
+  }
+}
+
+int MacQueueBackend::packet_count() const {
+  int retries = 0;
+  for (const auto& [key, queue] : retry_) {
+    retries += static_cast<int>(queue.size());
+  }
+  return queues_.packet_count() + retries;
+}
+
+}  // namespace airfair

@@ -1,0 +1,169 @@
+#include "src/core/mac_queues.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/util/flow_hash.h"
+
+namespace airfair {
+
+MacQueues::MacQueues(std::function<TimeUs()> clock, const Config& config)
+    : clock_(std::move(clock)), config_(config), pool_(config.flow_queues) {}
+
+CoDelParams MacQueues::ParamsFor(StationId station) const {
+  if (codel_params_) {
+    return codel_params_(station);
+  }
+  return CoDelParams::Default();
+}
+
+MacQueues::TidQueue* MacQueues::FindTid(StationId station, Tid tid) const {
+  const auto it = tids_.find(station * kNumTids + tid);
+  return it == tids_.end() ? nullptr : it->second.get();
+}
+
+MacQueues::TidQueue& MacQueues::GetOrCreateTid(StationId station, Tid tid) {
+  auto& slot = tids_[station * kNumTids + tid];
+  if (slot == nullptr) {
+    slot = std::make_unique<TidQueue>();
+    slot->station = station;
+    slot->tid = tid;
+  }
+  return *slot;
+}
+
+void MacQueues::DropFromLongestQueue() {
+  // Algorithm 1, lines 2-4: find_longest_queue() over every backlogged queue
+  // (flow queues and overflow queues alike), drop from its head.
+  FlowQueue* longest = nullptr;
+  for (FlowQueue* q : backlogged_) {
+    if (longest == nullptr || q->bytes > longest->bytes) {
+      longest = q;
+    }
+  }
+  if (longest == nullptr) {
+    return;
+  }
+  PacketPtr victim = std::move(longest->packets.front());
+  longest->packets.pop_front();
+  longest->bytes -= victim->size_bytes;
+  --total_packets_;
+  ++overflow_drops_;
+  assert(longest->tid != nullptr);
+  longest->tid->backlog_packets--;
+  if (longest->packets.empty()) {
+    longest->backlog_node.Unlink();
+  }
+}
+
+void MacQueues::Enqueue(PacketPtr packet, StationId station, Tid tid) {
+  // Global limit check (Algorithm 1, line 2).
+  while (total_packets_ >= config_.global_limit_packets) {
+    DropFromLongestQueue();
+  }
+
+  TidQueue& txq = GetOrCreateTid(station, tid);
+  const uint64_t h = HashFlow(packet->flow, config_.hash_perturbation);
+  FlowQueue* queue = &pool_[h % pool_.size()];
+  // Hash collision across TIDs: divert to this TID's overflow queue
+  // (Algorithm 1, lines 6-8).
+  if (queue->tid != nullptr && queue->tid != &txq) {
+    queue = &txq.overflow;
+  }
+  queue->tid = &txq;
+
+  packet->enqueued = clock_();  // Timestamp used by CoDel at dequeue.
+  queue->bytes += packet->size_bytes;
+  queue->packets.push_back(std::move(packet));
+  ++total_packets_;
+  ++txq.backlog_packets;
+  if (!queue->backlog_node.linked()) {
+    backlogged_.PushBack(queue);
+  }
+  // Newly active queues enter the TID's new-queues list (sparse-flow
+  // priority; Algorithm 1, lines 11-12).
+  if (!queue->sched_node.linked()) {
+    queue->deficit = config_.quantum_bytes;
+    txq.new_queues.PushBack(queue);
+  }
+}
+
+PacketPtr MacQueues::PullHead(FlowQueue& queue) {
+  if (queue.packets.empty()) {
+    return nullptr;
+  }
+  PacketPtr p = std::move(queue.packets.front());
+  queue.packets.pop_front();
+  queue.bytes -= p->size_bytes;
+  --total_packets_;
+  queue.tid->backlog_packets--;
+  if (queue.packets.empty()) {
+    queue.backlog_node.Unlink();
+  }
+  return p;
+}
+
+PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
+  TidQueue* txq = FindTid(station, tid);
+  if (txq == nullptr) {
+    return nullptr;
+  }
+  const CoDelParams params = ParamsFor(station);
+  const TimeUs now = clock_();
+  // Algorithm 2.
+  for (;;) {
+    FlowQueue* queue = nullptr;
+    bool from_new = false;
+    if (!txq->new_queues.empty()) {
+      queue = txq->new_queues.Front();
+      from_new = true;
+    } else if (!txq->old_queues.empty()) {
+      queue = txq->old_queues.Front();
+    } else {
+      return nullptr;
+    }
+    if (queue->deficit <= 0) {
+      queue->deficit += config_.quantum_bytes;
+      txq->old_queues.MoveToBack(queue);
+      continue;  // restart
+    }
+    PacketPtr packet = queue->codel.Dequeue(
+        now, params, [this, queue]() { return PullHead(*queue); },
+        [this](PacketPtr) { ++codel_drops_; });
+    if (packet == nullptr) {
+      // Queue empty (Algorithm 2, lines 13-19).
+      if (from_new) {
+        txq->old_queues.MoveToBack(queue);
+      } else {
+        queue->sched_node.Unlink();
+        queue->tid = nullptr;  // Release the queue back to the shared pool.
+      }
+      continue;  // restart
+    }
+    queue->deficit -= packet->size_bytes;
+    return packet;
+  }
+}
+
+int MacQueues::PeekBytes(StationId station, Tid tid) const {
+  const TidQueue* txq = FindTid(station, tid);
+  if (txq == nullptr || txq->backlog_packets == 0) {
+    return -1;
+  }
+  // Advisory: head of the first backlogged queue in service order.
+  for (const auto& list : {&txq->new_queues, &txq->old_queues}) {
+    for (FlowQueue* q : *list) {
+      if (!q->packets.empty()) {
+        return q->packets.front()->size_bytes;
+      }
+    }
+  }
+  return -1;
+}
+
+int MacQueues::TidBacklog(StationId station, Tid tid) const {
+  const TidQueue* txq = FindTid(station, tid);
+  return txq == nullptr ? 0 : txq->backlog_packets;
+}
+
+}  // namespace airfair

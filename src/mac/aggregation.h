@@ -1,0 +1,42 @@
+// A-MPDU aggregation builder.
+//
+// Builds a transmission descriptor at TXOP-grant time by pulling MPDUs from
+// a caller-supplied source (typically: retry queue first, then the TID's
+// flow queues), subject to the frame-count cap, the A-MPDU/TXOP duration cap
+// and the block-ack window. Aggregation level therefore *emerges* from queue
+// occupancy, exactly the property the paper's evaluation depends on
+// (Section 4.1.2: queueing structure determines achievable aggregation).
+
+#ifndef AIRFAIR_SRC_MAC_AGGREGATION_H_
+#define AIRFAIR_SRC_MAC_AGGREGATION_H_
+
+#include <functional>
+
+#include "src/mac/frame.h"
+#include "src/mac/phy_rate.h"
+
+namespace airfair {
+
+// Pull interface: PeekBytes returns the size of the next available MPDU's
+// packet, or -1 when exhausted; Pop removes and returns it.
+struct AggregationSource {
+  std::function<int()> peek_bytes;
+  std::function<Mpdu()> pop;
+};
+
+// Builds one transmission for (station, tid) at `rate`.
+//
+// When `allow_aggregation` is false (VO access class, or a legacy rate) the
+// result is a single MPDU with legacy-ACK framing. Returns an empty
+// descriptor if the source yields nothing.
+TxDescriptor BuildAggregate(uint32_t src_node, uint32_t dst_node, StationId station, Tid tid,
+                            const PhyRate& rate, bool allow_aggregation,
+                            const AggregationSource& source);
+
+// Whether frames in `ac` at `rate` may be aggregated (802.11e VO is sent as
+// individual frames; legacy rates predate aggregation).
+bool AggregationAllowed(AccessCategory ac, const PhyRate& rate);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_AGGREGATION_H_

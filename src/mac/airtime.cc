@@ -1,0 +1,56 @@
+#include "src/mac/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/mac/wifi_constants.h"
+
+namespace airfair {
+
+double AmpduSizeBytes(double n_packets, int packet_bytes) {
+  const int per_mpdu_raw = packet_bytes + kMpduDelimiterBytes + kMacHeaderBytes + kFcsBytes;
+  const int padded = (per_mpdu_raw + 3) / 4 * 4;  // L_pad: round up to 4 bytes.
+  return n_packets * static_cast<double>(padded);
+}
+
+TimeUs AmpduDataDuration(double n_packets, int packet_bytes, const PhyRate& rate) {
+  const double bits = 8.0 * AmpduSizeBytes(n_packets, packet_bytes);
+  const double seconds = bits / rate.bps;
+  return kPhyHeader + TimeUs(static_cast<int64_t>(std::llround(seconds * 1e6)));
+}
+
+TimeUs BlockAckDuration(const PhyRate& rate) {
+  const double seconds = 8.0 * kBlockAckBytes / rate.bps;
+  return kSifs + TimeUs(static_cast<int64_t>(std::llround(seconds * 1e6)));
+}
+
+TimeUs LegacyAckDuration() {
+  const double seconds = 8.0 * kAckBytes / kBasicRateBps;
+  return kSifs + kPhyHeader + TimeUs(static_cast<int64_t>(std::llround(seconds * 1e6)));
+}
+
+TimeUs SingleMpduDuration(int packet_bytes, const PhyRate& rate) {
+  const double bits = 8.0 * (packet_bytes + kMacHeaderBytes + kFcsBytes);
+  const double seconds = bits / rate.bps;
+  return kPhyHeader + TimeUs(static_cast<int64_t>(std::llround(seconds * 1e6)));
+}
+
+TimeUs TransmissionAirtime(int n_packets, int packet_bytes, const PhyRate& rate,
+                           bool aggregated) {
+  if (aggregated) {
+    return AmpduDataDuration(n_packets, packet_bytes, rate) + BlockAckDuration(rate);
+  }
+  return SingleMpduDuration(packet_bytes, rate) + LegacyAckDuration();
+}
+
+int MaxMpdusForDuration(int packet_bytes, const PhyRate& rate, TimeUs max_duration,
+                        int max_frames) {
+  int n = 1;
+  while (n < max_frames &&
+         AmpduDataDuration(n + 1, packet_bytes, rate) <= max_duration) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace airfair

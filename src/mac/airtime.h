@@ -1,0 +1,55 @@
+// Airtime calculator: transmission durations per the paper's Eqs. (1)-(3).
+//
+// Used in three places:
+//   1. by the medium, to advance simulated time for each transmission
+//      (the "capture-based" ground truth);
+//   2. by the airtime-fairness scheduler, to charge station deficits
+//      (the "in-kernel" estimate — same formulas, so the two agree, which
+//      the paper's third party verified to within 1.5%);
+//   3. by the analytical model in src/model to produce Table 1.
+
+#ifndef AIRFAIR_SRC_MAC_AIRTIME_H_
+#define AIRFAIR_SRC_MAC_AIRTIME_H_
+
+#include <cstdint>
+
+#include "src/mac/phy_rate.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+// Eq. (1): size in bytes of an n-MPDU A-MPDU with l-byte packets,
+// including per-MPDU delimiter, MAC header, FCS and padding to 4 bytes.
+// Callable with fractional n for the analytical model.
+double AmpduSizeBytes(double n_packets, int packet_bytes);
+
+// Eq. (2): time on the air for the data portion (PHY header + payload).
+TimeUs AmpduDataDuration(double n_packets, int packet_bytes, const PhyRate& rate);
+
+// Block-ack duration as modelled in the paper: SIFS + 58 bytes at the data
+// rate. (The SIFS is included, following T_ack's definition in Section 2.2.1.)
+TimeUs BlockAckDuration(const PhyRate& rate);
+
+// Regular ACK for a non-aggregated frame: SIFS + 14 bytes at the basic rate,
+// plus a PHY header.
+TimeUs LegacyAckDuration();
+
+// Duration of a single non-aggregated MPDU (no delimiter/padding): PHY
+// header + (payload + MAC header + FCS) at `rate`.
+TimeUs SingleMpduDuration(int packet_bytes, const PhyRate& rate);
+
+// Airtime a transmission occupies the medium for, as charged to a station's
+// ledger and deficit: data portion + acknowledgement (the contention backoff
+// and AIFS are idle time, not charged).
+//
+// `aggregated` selects block-ack (A-MPDU) vs legacy ACK framing.
+TimeUs TransmissionAirtime(int n_packets, int packet_bytes, const PhyRate& rate, bool aggregated);
+
+// The largest MPDU count whose data duration fits the TXOP/A-MPDU duration
+// cap, in [1, max_frames].
+int MaxMpdusForDuration(int packet_bytes, const PhyRate& rate, TimeUs max_duration,
+                        int max_frames);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_AIRTIME_H_

@@ -1,0 +1,40 @@
+// SNR-based per-MPDU error model.
+//
+// The paper's testbed controls station rates by placement ("placed further
+// away and configured to only support the MCS0 rate"). To exercise the same
+// code paths with *dynamic* rate selection (Section 3.1.1 takes the
+// expected-throughput estimate "from the rate selection algorithm"), this
+// model maps a station's signal-to-noise ratio and a candidate MCS to a
+// per-MPDU error probability: each MCS has a required SNR; below it the
+// error rate rises steeply (logistic in dB, a standard abstraction of the
+// PER waterfall curves).
+
+#ifndef AIRFAIR_SRC_MAC_CHANNEL_MODEL_H_
+#define AIRFAIR_SRC_MAC_CHANNEL_MODEL_H_
+
+namespace airfair {
+
+struct ChannelModelParams {
+  // Width of the PER transition region in dB (smaller = sharper waterfall).
+  double transition_db = 1.5;
+  // Residual error floor even far above the required SNR (retries exist in
+  // any real deployment).
+  double error_floor = 0.005;
+};
+
+// Required SNR (dB) to operate HT20 MCS `mcs_index` (0-15) near its error
+// floor. Values follow the usual receiver-sensitivity ladder.
+double RequiredSnrDb(int mcs_index);
+
+// Per-MPDU error probability for a station at `snr_db` using `mcs_index`.
+double MpduErrorProbability(double snr_db, int mcs_index,
+                            const ChannelModelParams& params = ChannelModelParams());
+
+// The highest MCS whose error probability stays below `max_error` at
+// `snr_db` (the "oracle" rate; -1 if even MCS0 exceeds it).
+int BestMcsForSnr(double snr_db, double max_error = 0.1,
+                  const ChannelModelParams& params = ChannelModelParams());
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_CHANNEL_MODEL_H_

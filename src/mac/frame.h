@@ -1,0 +1,58 @@
+// MAC-level transmission units.
+
+#ifndef AIRFAIR_SRC_MAC_FRAME_H_
+#define AIRFAIR_SRC_MAC_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mac/phy_rate.h"
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+// Station identifier within a BSS (0-based index assigned by the testbed).
+using StationId = int;
+inline constexpr StationId kNoStation = -1;
+
+// One MPDU: a packet plus its MAC retry state.
+struct Mpdu {
+  PacketPtr packet;
+  int retries = 0;
+};
+
+// A prepared transmission: either an A-MPDU (aggregated == true, 1..N MPDUs
+// acknowledged by block-ack) or a single non-aggregated MPDU (VO traffic and
+// legacy rates).
+struct TxDescriptor {
+  uint32_t src_node = 0;
+  uint32_t dst_node = 0;
+  // The non-AP endpoint of the transmission; airtime is charged to it
+  // regardless of direction (Section 3.2: "also accounting the airtime from
+  // received frames to each station's deficit").
+  StationId station = kNoStation;
+  AccessCategory ac = AccessCategory::kBestEffort;
+  Tid tid = kBestEffortTid;
+  PhyRate rate;
+  bool aggregated = true;
+  std::vector<Mpdu> mpdus;
+
+  // Medium occupancy (data + ack), filled in by the builder.
+  TimeUs duration;
+
+  bool empty() const { return mpdus.empty(); }
+  int frame_count() const { return static_cast<int>(mpdus.size()); }
+
+  int64_t payload_bytes() const {
+    int64_t total = 0;
+    for (const auto& m : mpdus) {
+      total += m.packet->size_bytes;
+    }
+    return total;
+  }
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_FRAME_H_

@@ -1,0 +1,214 @@
+#include "src/mac/medium.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace airfair {
+
+WifiMedium::WifiMedium(Simulation* sim) : sim_(sim) {}
+
+WifiMedium::ContenderId WifiMedium::Register(MediumClient* client, const EdcaParams& edca,
+                                             bool from_ap) {
+  Contender c;
+  c.client = client;
+  c.edca = edca;
+  c.from_ap = from_ap;
+  c.cw = edca.cw_min;
+  contenders_.push_back(c);
+  return static_cast<ContenderId>(contenders_.size() - 1);
+}
+
+void WifiMedium::SetErrorModel(StationId station,
+                               std::function<double(const PhyRate&)> model) {
+  if (station >= static_cast<StationId>(error_model_by_station_.size())) {
+    error_model_by_station_.resize(static_cast<size_t>(station) + 1);
+  }
+  error_model_by_station_[static_cast<size_t>(station)] = std::move(model);
+}
+
+void WifiMedium::SetErrorRate(StationId station, double per_mpdu_error_probability) {
+  if (per_mpdu_error_probability <= 0.0) {
+    SetErrorModel(station, nullptr);
+    return;
+  }
+  SetErrorModel(station,
+                [per_mpdu_error_probability](const PhyRate&) { return per_mpdu_error_probability; });
+}
+
+void WifiMedium::ChargeAirtime(StationId station, TimeUs duration) {
+  if (station < 0) {
+    return;
+  }
+  if (station >= static_cast<StationId>(airtime_by_station_.size())) {
+    airtime_by_station_.resize(station + 1, TimeUs::Zero());
+  }
+  airtime_by_station_[station] += duration;
+}
+
+TimeUs WifiMedium::AirtimeUsed(StationId station) const {
+  if (station < 0 || station >= static_cast<StationId>(airtime_by_station_.size())) {
+    return TimeUs::Zero();
+  }
+  return airtime_by_station_[station];
+}
+
+void WifiMedium::NotifyBacklog(ContenderId id) {
+  Contender& c = contenders_[static_cast<size_t>(id)];
+  if (c.backlogged) {
+    return;
+  }
+  c.backlogged = true;
+  if (!busy_) {
+    RestartContention();
+  }
+}
+
+void WifiMedium::RestartContention() {
+  assert(!busy_);
+  grant_event_.Cancel();
+
+  // Refresh backlog states (clients may have drained).
+  bool any = false;
+  int best_defer = 0;
+  for (auto& c : contenders_) {
+    if (c.backlogged && !c.client->HasPending()) {
+      c.backlogged = false;
+      c.backoff_slots = -1;
+    }
+    if (!c.backlogged) {
+      continue;
+    }
+    if (c.backoff_slots < 0) {
+      c.backoff_slots = static_cast<int>(sim_->rng().NextBelow(static_cast<uint64_t>(c.cw) + 1));
+    }
+    const int defer = c.edca.aifsn + c.backoff_slots;
+    if (!any || defer < best_defer) {
+      best_defer = defer;
+    }
+    any = true;
+  }
+  if (!any) {
+    return;
+  }
+  const TimeUs wait = kSifs + best_defer * kSlotTime;
+  const int defer_copy = best_defer;
+  grant_event_ = sim_->After(wait, [this, defer_copy] { ResolveGrant(defer_copy); });
+}
+
+void WifiMedium::ResolveGrant(int defer_slots) {
+  if (busy_) {
+    return;  // Defensive: a stale grant must never overlap a transmission.
+  }
+  // Mark busy *before* asking clients to build transmissions: building can
+  // re-fill hardware queues and call NotifyBacklog, which must not restart
+  // contention mid-grant.
+  busy_ = true;
+  // Collect all contenders whose counters expire at this round's minimum.
+  std::vector<int> winner_ids;
+  for (size_t i = 0; i < contenders_.size(); ++i) {
+    Contender& c = contenders_[i];
+    if (!c.backlogged) {
+      continue;
+    }
+    if (c.edca.aifsn + c.backoff_slots == defer_slots) {
+      winner_ids.push_back(static_cast<int>(i));
+    }
+  }
+  // Losers consume the backoff slots that elapsed beyond their AIFS.
+  for (auto& c : contenders_) {
+    if (!c.backlogged) {
+      continue;
+    }
+    if (c.edca.aifsn + c.backoff_slots == defer_slots) {
+      continue;  // Winner.
+    }
+    const int consumed = std::max(0, defer_slots - c.edca.aifsn);
+    c.backoff_slots = std::max(0, c.backoff_slots - consumed);
+  }
+
+  // Ask the winners to build their transmissions.
+  std::vector<std::pair<int, TxDescriptor>> transmissions;
+  for (int id : winner_ids) {
+    Contender& c = contenders_[static_cast<size_t>(id)];
+    TxDescriptor tx = c.client->BuildTransmission();
+    if (tx.empty()) {
+      c.backlogged = c.client->HasPending();
+      c.backoff_slots = -1;
+      continue;
+    }
+    transmissions.emplace_back(id, std::move(tx));
+  }
+  if (transmissions.empty()) {
+    busy_ = false;
+    RestartContention();
+    return;
+  }
+
+  const bool collision = transmissions.size() > 1;
+  TimeUs occupancy = TimeUs::Zero();
+  for (const auto& [id, tx] : transmissions) {
+    occupancy = std::max(occupancy, tx.duration);
+  }
+  if (collision) {
+    occupancy += kEifs - kDifs;  // Extended IFS penalty after a collision.
+    ++collisions_;
+  }
+
+  busy_time_ += occupancy;
+  // Move the descriptors into the completion event (shared_ptr because
+  // std::function requires copyable captures).
+  auto pending =
+      std::make_shared<std::vector<std::pair<int, TxDescriptor>>>(std::move(transmissions));
+  sim_->After(occupancy, [this, pending, collision] {
+    CompleteTransmissions(std::move(*pending), collision);
+  });
+}
+
+void WifiMedium::CompleteTransmissions(std::vector<std::pair<int, TxDescriptor>> transmissions,
+                                       bool collision) {
+  for (auto& [id, tx] : transmissions) {
+    Contender& c = contenders_[static_cast<size_t>(id)];
+    ++transmissions_;
+
+    // Every collider pays for its own transmission time.
+    ChargeAirtime(tx.station, tx.duration);
+    if (!c.from_ap && rx_airtime_) {
+      rx_airtime_(tx.station, tx.ac, tx.duration);
+    }
+
+    if (!collision) {
+      // Per-MPDU channel errors (block-ack reports the failures).
+      double err = 0.0;
+      if (tx.station >= 0 &&
+          tx.station < static_cast<StationId>(error_model_by_station_.size()) &&
+          error_model_by_station_[static_cast<size_t>(tx.station)]) {
+        err = error_model_by_station_[static_cast<size_t>(tx.station)](tx.rate);
+      }
+      for (auto& mpdu : tx.mpdus) {
+        if (err > 0.0 && sim_->rng().Chance(err)) {
+          ++mpdu_errors_;
+          continue;  // Packet stays in the descriptor: failed.
+        }
+        if (deliver_) {
+          deliver_(std::move(mpdu.packet), tx.src_node, tx.dst_node);
+        }
+        mpdu.packet = nullptr;
+      }
+      c.cw = c.edca.cw_min;
+    } else {
+      // Whole-frame loss; binary exponential backoff.
+      c.cw = std::min(2 * (c.cw + 1) - 1, c.edca.cw_max);
+    }
+    c.backoff_slots = -1;
+
+    c.client->OnTxComplete(std::move(tx), collision);
+    c.backlogged = c.client->HasPending();
+  }
+  busy_ = false;
+  RestartContention();
+}
+
+}  // namespace airfair

@@ -1,0 +1,28 @@
+#include "src/mac/phy_rate.h"
+
+#include <cassert>
+
+namespace airfair {
+
+namespace {
+
+// HT20 long-GI rates in Mbit/s for MCS 0-7 (one stream); MCS 8-15 double
+// them (two streams). Short GI multiplies by 10/9.
+constexpr double kHt20LgiMbps[8] = {6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0};
+
+}  // namespace
+
+PhyRate McsRate(int mcs_index, bool short_gi) {
+  assert(mcs_index >= 0 && mcs_index <= 15);
+  const int stream_mcs = mcs_index % 8;
+  const int streams = mcs_index / 8 + 1;
+  double mbps = kHt20LgiMbps[stream_mcs] * streams;
+  if (short_gi) {
+    mbps = mbps * 10.0 / 9.0;
+  }
+  return PhyRate{mbps * 1e6, /*ht=*/true, mcs_index};
+}
+
+PhyRate LegacyRate(double mbps) { return PhyRate{mbps * 1e6, /*ht=*/false, -1}; }
+
+}  // namespace airfair

@@ -1,0 +1,37 @@
+// HT20 MCS rate table.
+//
+// The testbed stations in the paper run HT20: the fast stations at MCS 15
+// (two streams, short guard interval: 144.4 Mbit/s) and the slow station
+// locked to MCS 0 (7.2 Mbit/s with SGI). The 30-station experiment's slow
+// station is forced to the 1 Mbit/s legacy rate (HT disabled).
+
+#ifndef AIRFAIR_SRC_MAC_PHY_RATE_H_
+#define AIRFAIR_SRC_MAC_PHY_RATE_H_
+
+#include <cstdint>
+
+namespace airfair {
+
+struct PhyRate {
+  double bps = 0;         // PHY data rate in bits/s.
+  bool ht = true;         // HT (aggregation-capable) or legacy.
+  int mcs = -1;           // HT MCS index, or -1 for legacy rates.
+
+  double Mbps() const { return bps / 1e6; }
+};
+
+// HT20 MCS index 0-15, with short or long guard interval.
+PhyRate McsRate(int mcs_index, bool short_gi = true);
+
+// Legacy (non-HT) rate; `mbps` one of 1, 2, 5.5, 11, 6, 9, ... No
+// aggregation is possible at legacy rates.
+PhyRate LegacyRate(double mbps);
+
+// Paper testbed shorthands.
+inline PhyRate FastStationRate() { return McsRate(15, /*short_gi=*/true); }   // 144.4 Mbit/s
+inline PhyRate SlowStationRate() { return McsRate(0, /*short_gi=*/true); }    // 7.2 Mbit/s
+inline PhyRate OneMbpsRate() { return LegacyRate(1.0); }
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_PHY_RATE_H_

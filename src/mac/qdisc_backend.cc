@@ -1,0 +1,137 @@
+#include "src/mac/qdisc_backend.h"
+
+#include <utility>
+
+#include "src/mac/aggregation.h"
+
+namespace airfair {
+
+QdiscBackend::QdiscBackend(std::unique_ptr<Qdisc> qdisc, const StationTable* stations,
+                           uint32_t ap_node_id, const Config& config)
+    : qdisc_(std::move(qdisc)), stations_(stations), ap_node_id_(ap_node_id), config_(config) {}
+
+QdiscBackend::QdiscBackend(std::unique_ptr<Qdisc> qdisc, const StationTable* stations,
+                           uint32_t ap_node_id)
+    : QdiscBackend(std::move(qdisc), stations, ap_node_id, Config()) {}
+
+QdiscBackend::DriverTid& QdiscBackend::TidOf(int key) {
+  if (key >= static_cast<int>(tids_.size())) {
+    tids_.resize(static_cast<size_t>(key) + 1);
+  }
+  auto& slot = tids_[static_cast<size_t>(key)];
+  if (slot == nullptr) {
+    slot = std::make_unique<DriverTid>();
+  }
+  return *slot;
+}
+
+void QdiscBackend::AddToRing(int key) {
+  DriverTid& t = TidOf(key);
+  if (t.in_ring || !t.has_frames()) {
+    return;
+  }
+  t.in_ring = true;
+  const AccessCategory ac = AcForTid(static_cast<Tid>(key % kNumTids));
+  ring_[static_cast<size_t>(ac)].push_back(key);
+}
+
+void QdiscBackend::PullFromQdisc() {
+  while (driver_total_ < config_.driver_budget_packets) {
+    PacketPtr packet = qdisc_->Dequeue();
+    if (packet == nullptr) {
+      return;
+    }
+    const StationId station = stations_->FromNode(packet->flow.dst_node);
+    if (station == kNoStation) {
+      ++unroutable_;
+      continue;
+    }
+    const int key = KeyOf(station, packet->tid);
+    TidOf(key).buf.push_back(std::move(packet));
+    ++driver_total_;
+    AddToRing(key);
+  }
+}
+
+void QdiscBackend::Enqueue(PacketPtr packet, StationId /*station*/) {
+  qdisc_->Enqueue(std::move(packet));
+  PullFromQdisc();
+}
+
+bool QdiscBackend::HasPending(AccessCategory ac) {
+  PullFromQdisc();
+  return !ring_[static_cast<size_t>(ac)].empty();
+}
+
+TxDescriptor QdiscBackend::BuildNext(AccessCategory ac) {
+  PullFromQdisc();
+  auto& ring = ring_[static_cast<size_t>(ac)];
+  while (!ring.empty()) {
+    const int key = ring.front();
+    ring.pop_front();
+    DriverTid& t = TidOf(key);
+    if (!t.has_frames()) {
+      t.in_ring = false;
+      continue;
+    }
+    const StationId station = key / kNumTids;
+    const Tid tid = static_cast<Tid>(key % kNumTids);
+    const StationInfo& info = stations_->Get(station);
+
+    AggregationSource source;
+    source.peek_bytes = [&t]() -> int {
+      if (!t.retry.empty()) {
+        return t.retry.front().packet->size_bytes;
+      }
+      if (!t.buf.empty()) {
+        return t.buf.front()->size_bytes;
+      }
+      return -1;
+    };
+    source.pop = [this, &t]() -> Mpdu {
+      if (!t.retry.empty()) {
+        Mpdu m = std::move(t.retry.front());
+        t.retry.pop_front();
+        return m;
+      }
+      Mpdu m;
+      m.packet = std::move(t.buf.front());
+      t.buf.pop_front();
+      --driver_total_;
+      return m;
+    };
+
+    TxDescriptor tx =
+        BuildAggregate(ap_node_id_, info.node_id, station, tid, info.rate,
+                       AggregationAllowed(ac, info.rate), source);
+    // Re-pull (the budget freed up) and restore ring membership.
+    PullFromQdisc();
+    if (t.has_frames()) {
+      ring.push_back(key);
+    } else {
+      t.in_ring = false;
+    }
+    if (!tx.empty()) {
+      return tx;
+    }
+  }
+  return TxDescriptor{};
+}
+
+void QdiscBackend::Requeue(StationId station, Tid tid, Mpdu mpdu) {
+  const int key = KeyOf(station, tid);
+  TidOf(key).retry.push_back(std::move(mpdu));
+  AddToRing(key);
+}
+
+int QdiscBackend::packet_count() const {
+  int retries = 0;
+  for (const auto& t : tids_) {
+    if (t != nullptr) {
+      retries += static_cast<int>(t->retry.size());
+    }
+  }
+  return qdisc_->packet_count() + driver_total_ + retries;
+}
+
+}  // namespace airfair

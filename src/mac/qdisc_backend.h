@@ -1,0 +1,82 @@
+// QdiscBackend: the stock Linux queueing path of the paper's Figure 2.
+//
+// An arbitrary qdisc (PFIFO for the "FIFO" configuration, FqCodelQdisc for
+// "FQ-CoDel") sits above a driver model with per-TID buffer and retry queues.
+// The driver eagerly pulls packets from the qdisc into the per-TID queues
+// while its global budget has room, and serves TIDs round-robin — one
+// aggregate per turn — which yields MAC-level *throughput* fairness between
+// stations and hence exhibits the 802.11 performance anomaly.
+//
+// The global driver budget is what produces the lock-out behaviour the paper
+// describes (Section 4.1.2): the slow station's TID queue drains slowly, so
+// its packets accumulate until they occupy the entire driver space, starving
+// the fast stations' TIDs of queued packets and thus of aggregation.
+
+#ifndef AIRFAIR_SRC_MAC_QDISC_BACKEND_H_
+#define AIRFAIR_SRC_MAC_QDISC_BACKEND_H_
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/aqm/queue_discipline.h"
+#include "src/mac/ap_backend.h"
+#include "src/mac/station_table.h"
+
+namespace airfair {
+
+class QdiscBackend : public ApQueueBackend {
+ public:
+  struct Config {
+    // Driver-side packet budget across all TIDs (ath9k-like pending-frames
+    // threshold). The qdisc above holds the rest of the standing queue.
+    int driver_budget_packets = 128;
+  };
+
+  QdiscBackend(std::unique_ptr<Qdisc> qdisc, const StationTable* stations, uint32_t ap_node_id,
+               const Config& config);
+  QdiscBackend(std::unique_ptr<Qdisc> qdisc, const StationTable* stations, uint32_t ap_node_id);
+
+  void Enqueue(PacketPtr packet, StationId station) override;
+  bool HasPending(AccessCategory ac) override;
+  TxDescriptor BuildNext(AccessCategory ac) override;
+  void Requeue(StationId station, Tid tid, Mpdu mpdu) override;
+  void AccountTxAirtime(StationId, AccessCategory, TimeUs) override {}
+  void AccountRxAirtime(StationId, AccessCategory, TimeUs) override {}
+  int packet_count() const override;
+  int64_t drops() const override { return qdisc_->drops() + unroutable_; }
+
+  const Qdisc& qdisc() const { return *qdisc_; }
+  int driver_packets() const { return driver_total_; }
+
+ private:
+  struct DriverTid {
+    std::deque<PacketPtr> buf;   // buf_q in Figure 2.
+    std::deque<Mpdu> retry;      // retry_q in Figure 2.
+    bool in_ring = false;
+
+    bool has_frames() const { return !buf.empty() || !retry.empty(); }
+  };
+
+  int KeyOf(StationId station, Tid tid) const { return station * kNumTids + tid; }
+  DriverTid& TidOf(int key);
+  void PullFromQdisc();
+  void AddToRing(int key);
+
+  std::unique_ptr<Qdisc> qdisc_;
+  const StationTable* stations_;
+  uint32_t ap_node_id_;
+  Config config_;
+
+  // unique_ptr entries: DriverTid holds move-only deques, and vector growth
+  // would otherwise require copyability.
+  std::vector<std::unique_ptr<DriverTid>> tids_;
+  std::array<std::deque<int>, kNumAccessCategories> ring_;  // Round-robin per AC.
+  int driver_total_ = 0;
+  int64_t unroutable_ = 0;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_QDISC_BACKEND_H_

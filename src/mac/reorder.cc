@@ -1,0 +1,84 @@
+#include "src/mac/reorder.h"
+
+#include <utility>
+
+namespace airfair {
+
+ReorderBuffer::ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver)
+    : ReorderBuffer(sim, std::move(deliver), Config()) {}
+
+ReorderBuffer::ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver,
+                             const Config& config)
+    : sim_(sim), deliver_(std::move(deliver)), config_(config) {}
+
+void ReorderBuffer::Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid) {
+  if (packet->mac_seq < 0) {
+    deliver_(std::move(packet));
+    return;
+  }
+  const uint64_t key = (static_cast<uint64_t>(transmitter_node) << 8) | tid;
+  auto& slot = streams_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Stream>();
+  }
+  Stream* stream = slot.get();
+
+  const int64_t seq = packet->mac_seq;
+  if (seq < stream->expected) {
+    return;  // Duplicate of an already-released frame.
+  }
+  if (seq == stream->expected) {
+    ++stream->expected;
+    deliver_(std::move(packet));
+    ReleaseContiguous(stream);
+    return;
+  }
+  // Hole: buffer and wait for the retry.
+  if (stream->buffer.emplace(seq, std::move(packet)).second) {
+    ++held_;
+  }
+  // Window pressure: never hold more than the block-ack window's span.
+  while (!stream->buffer.empty() &&
+         stream->buffer.rbegin()->first - stream->expected >= config_.window) {
+    FlushHole(stream);
+  }
+  if (!stream->buffer.empty()) {
+    ArmTimer(stream);
+  }
+}
+
+void ReorderBuffer::ReleaseContiguous(Stream* stream) {
+  auto it = stream->buffer.begin();
+  while (it != stream->buffer.end() && it->first == stream->expected) {
+    ++stream->expected;
+    --held_;
+    deliver_(std::move(it->second));
+    it = stream->buffer.erase(it);
+  }
+  if (stream->buffer.empty()) {
+    stream->flush_timer.Cancel();
+  } else {
+    ArmTimer(stream);
+  }
+}
+
+void ReorderBuffer::FlushHole(Stream* stream) {
+  if (stream->buffer.empty()) {
+    return;
+  }
+  // Skip to the first buffered frame, abandoning the hole.
+  stream->expected = stream->buffer.begin()->first;
+  ReleaseContiguous(stream);
+}
+
+void ReorderBuffer::ArmTimer(Stream* stream) {
+  if (stream->flush_timer.pending()) {
+    return;
+  }
+  stream->flush_timer = sim_->After(config_.release_timeout, [this, stream] {
+    ++timeout_flushes_;
+    FlushHole(stream);
+  });
+}
+
+}  // namespace airfair

@@ -1,0 +1,92 @@
+#include "src/mac/station.h"
+
+#include <utility>
+
+#include "src/mac/aggregation.h"
+#include "src/mac/wifi_constants.h"
+
+namespace airfair {
+
+WifiStation::WifiStation(Simulation* sim, WifiMedium* medium, const StationTable* stations,
+                         StationId id, uint32_t ap_node_id, int uplink_queue_limit)
+    : sim_(sim),
+      medium_(medium),
+      stations_(stations),
+      id_(id),
+      ap_node_id_(ap_node_id),
+      uplink_queue_limit_(uplink_queue_limit) {
+  for (int i = 0; i < kNumAccessCategories; ++i) {
+    const auto ac = static_cast<AccessCategory>(i);
+    acs_[static_cast<size_t>(i)] = std::make_unique<AcQueue>(this, ac);
+    acs_[static_cast<size_t>(i)]->contender_id_ =
+        medium_->Register(acs_[static_cast<size_t>(i)].get(), EdcaFor(ac), /*from_ap=*/false);
+  }
+}
+
+void WifiStation::SendUplink(PacketPtr packet) {
+  AcQueue* q = acs_[static_cast<size_t>(packet->ac())].get();
+  if (static_cast<int>(q->fifo_.size()) >= uplink_queue_limit_) {
+    ++uplink_drops_;
+    return;
+  }
+  q->fifo_.push_back(std::move(packet));
+  medium_->NotifyBacklog(q->contender_id_);
+}
+
+TxDescriptor WifiStation::AcQueue::BuildTransmission() {
+  if (!HasPending()) {
+    return TxDescriptor{};
+  }
+  const StationInfo& info = station_->stations_->Get(station_->id_);
+  const Tid tid =
+      !retry_.empty() ? retry_.front().packet->tid : fifo_.front()->tid;
+
+  AggregationSource source;
+  source.peek_bytes = [this]() -> int {
+    if (!retry_.empty()) {
+      return retry_.front().packet->size_bytes;
+    }
+    if (!fifo_.empty()) {
+      return fifo_.front()->size_bytes;
+    }
+    return -1;
+  };
+  source.pop = [this]() -> Mpdu {
+    if (!retry_.empty()) {
+      Mpdu m = std::move(retry_.front());
+      retry_.pop_front();
+      return m;
+    }
+    Mpdu m;
+    m.packet = std::move(fifo_.front());
+    fifo_.pop_front();
+    return m;
+  };
+
+  TxDescriptor tx = BuildAggregate(info.node_id, station_->ap_node_id_, station_->id_, tid,
+                                   info.rate, AggregationAllowed(ac_, info.rate), source);
+  for (auto& mpdu : tx.mpdus) {
+    station_->sequencer_.AssignIfNeeded(mpdu.packet.get(), station_->ap_node_id_, tx.tid);
+  }
+  return tx;
+}
+
+void WifiStation::AcQueue::OnTxComplete(TxDescriptor tx, bool collision) {
+  (void)collision;
+  for (auto& mpdu : tx.mpdus) {
+    if (mpdu.packet == nullptr) {
+      continue;
+    }
+    ++mpdu.retries;
+    if (mpdu.retries > kMpduRetryLimit) {
+      ++station_->retry_drops_;
+      continue;
+    }
+    retry_.push_back(std::move(mpdu));
+  }
+  if (HasPending()) {
+    station_->medium_->NotifyBacklog(contender_id_);
+  }
+}
+
+}  // namespace airfair

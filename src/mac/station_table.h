@@ -1,0 +1,51 @@
+// Registry of associated stations, shared by the access point, the queueing
+// backends and the evaluation harness.
+
+#ifndef AIRFAIR_SRC_MAC_STATION_TABLE_H_
+#define AIRFAIR_SRC_MAC_STATION_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mac/frame.h"
+#include "src/mac/phy_rate.h"
+
+namespace airfair {
+
+struct StationInfo {
+  uint32_t node_id = 0;
+  PhyRate rate;
+  std::string name;
+};
+
+class StationTable {
+ public:
+  StationId Add(const StationInfo& info) {
+    const StationId id = static_cast<StationId>(stations_.size());
+    stations_.push_back(info);
+    by_node_[info.node_id] = id;
+    return id;
+  }
+
+  const StationInfo& Get(StationId id) const { return stations_[static_cast<size_t>(id)]; }
+
+  StationInfo& GetMutable(StationId id) { return stations_[static_cast<size_t>(id)]; }
+
+  // StationId for a node, or kNoStation if the node is not a station.
+  StationId FromNode(uint32_t node_id) const {
+    const auto it = by_node_.find(node_id);
+    return it == by_node_.end() ? kNoStation : it->second;
+  }
+
+  int size() const { return static_cast<int>(stations_.size()); }
+
+ private:
+  std::vector<StationInfo> stations_;
+  std::unordered_map<uint32_t, StationId> by_node_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_STATION_TABLE_H_

@@ -1,0 +1,76 @@
+// 802.11n timing and framing constants.
+//
+// Values follow Section 2.2.1 of the paper (which in turn cites Kim et al.
+// [16]) plus the standard EDCA parameter set. All times in microseconds.
+
+#ifndef AIRFAIR_SRC_MAC_WIFI_CONSTANTS_H_
+#define AIRFAIR_SRC_MAC_WIFI_CONSTANTS_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+// --- PHY timing (5 GHz OFDM / HT) ---
+inline constexpr TimeUs kSlotTime = TimeUs(9);
+inline constexpr TimeUs kSifs = TimeUs(16);
+// DIFS = SIFS + 2 * slot; the value the paper's analytical model uses.
+inline constexpr TimeUs kDifs = TimeUs(34);
+// Extended IFS after an errored/collided frame.
+inline constexpr TimeUs kEifs = TimeUs(34 + 60);
+// HT PHY preamble + header (the paper's T_phy).
+inline constexpr TimeUs kPhyHeader = TimeUs(32);
+
+// --- A-MPDU framing overhead per MPDU (bytes); paper Eq. (1) ---
+inline constexpr int kMpduDelimiterBytes = 4;   // L_delim
+inline constexpr int kMacHeaderBytes = 34;      // L_mac
+inline constexpr int kFcsBytes = 4;             // L_FCS
+
+// Block acknowledgement: the paper models T_ack = SIFS + 8*58/r_i, i.e. a
+// 58-byte BA transmitted at the data rate.
+inline constexpr int kBlockAckBytes = 58;
+// Regular ACK for non-aggregated frames: 14 bytes at the 24 Mbit/s basic rate.
+inline constexpr int kAckBytes = 14;
+inline constexpr double kBasicRateBps = 24e6;
+
+// Mean backoff the analytical model assumes: slot * CWmin / 2 with CWmin = 15.
+inline constexpr TimeUs kModelMeanBackoff = TimeUs(68);
+
+// --- Aggregation limits (ath9k-like) ---
+inline constexpr int kMaxMpdusPerAmpdu = 32;
+inline constexpr int kBlockAckWindow = 64;
+inline constexpr TimeUs kMaxAmpduDuration = TimeUs::FromMilliseconds(4);
+
+// Retry limit per MPDU before the frame is dropped.
+inline constexpr int kMpduRetryLimit = 10;
+
+// Hardware queue depth in prepared aggregates ("at two queued aggregates",
+// Section 3.2).
+inline constexpr int kHardwareQueueDepth = 2;
+
+// --- EDCA parameters per access category (802.11 defaults) ---
+struct EdcaParams {
+  int aifsn = 3;     // AIFS = SIFS + aifsn * slot.
+  int cw_min = 15;   // Initial contention window (slots).
+  int cw_max = 1023;
+};
+
+constexpr EdcaParams EdcaFor(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::kVoice:
+      return EdcaParams{2, 3, 7};
+    case AccessCategory::kVideo:
+      return EdcaParams{2, 7, 15};
+    case AccessCategory::kBestEffort:
+      return EdcaParams{3, 15, 1023};
+    case AccessCategory::kBackground:
+      return EdcaParams{7, 15, 1023};
+  }
+  return EdcaParams{};
+}
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MAC_WIFI_CONSTANTS_H_

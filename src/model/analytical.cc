@@ -1,0 +1,61 @@
+#include "src/model/analytical.h"
+
+#include "src/mac/airtime.h"
+#include "src/mac/wifi_constants.h"
+
+namespace airfair {
+
+double TransmissionOverheadUs(const PhyRate& rate) {
+  const double t_ack_us =
+      kSifs.us() + 8.0 * kBlockAckBytes / rate.bps * 1e6;  // T_ack = T_SIFS + 8*58/r_i.
+  return static_cast<double>(kDifs.us()) + static_cast<double>(kSifs.us()) + t_ack_us +
+         static_cast<double>(kModelMeanBackoff.us());
+}
+
+namespace {
+
+// Eq. (2) with fractional n (double-precision version of the MAC airtime
+// calculator, kept exact for the model).
+double DataDurationUs(const ModelStation& s) {
+  const double bits = 8.0 * AmpduSizeBytes(s.aggregation_size, s.packet_bytes);
+  return static_cast<double>(kPhyHeader.us()) + bits / s.rate.bps * 1e6;
+}
+
+}  // namespace
+
+double BaselineRateMbps(const ModelStation& s) {
+  const double payload_bits = s.aggregation_size * s.packet_bytes * 8.0;
+  const double total_us = DataDurationUs(s) + TransmissionOverheadUs(s.rate);
+  return payload_bits / total_us;  // bits/us == Mbit/s.
+}
+
+std::vector<ModelResult> PredictStations(const std::vector<ModelStation>& stations,
+                                         bool airtime_fairness) {
+  std::vector<ModelResult> results(stations.size());
+  double total_tdata = 0;
+  for (const auto& s : stations) {
+    total_tdata += DataDurationUs(s);
+  }
+  for (size_t i = 0; i < stations.size(); ++i) {
+    const ModelStation& s = stations[i];
+    ModelResult& r = results[i];
+    r.base_rate_mbps = BaselineRateMbps(s);
+    if (airtime_fairness) {
+      r.airtime_share = 1.0 / static_cast<double>(stations.size());  // Eq. (4), fair case.
+    } else {
+      r.airtime_share = DataDurationUs(s) / total_tdata;  // Eq. (4), anomaly case.
+    }
+    r.rate_mbps = r.airtime_share * r.base_rate_mbps;  // Eq. (5).
+  }
+  return results;
+}
+
+double TotalRateMbps(const std::vector<ModelResult>& results) {
+  double total = 0;
+  for (const auto& r : results) {
+    total += r.rate_mbps;
+  }
+  return total;
+}
+
+}  // namespace airfair

@@ -1,0 +1,47 @@
+// Analytical model for 802.11n throughput and airtime (Section 2.2.1).
+//
+// Implements Eqs. (1)-(5): expected per-station airtime share T(i) and rate
+// R(i) with and without airtime fairness, given each station's mean
+// aggregation size, packet length and PHY rate. Reproduces the calculated
+// columns of Table 1.
+
+#ifndef AIRFAIR_SRC_MODEL_ANALYTICAL_H_
+#define AIRFAIR_SRC_MODEL_ANALYTICAL_H_
+
+#include <vector>
+
+#include "src/mac/phy_rate.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+struct ModelStation {
+  double aggregation_size = 1.0;  // n_i: mean packets per aggregate (may be fractional).
+  int packet_bytes = 1500;        // l_i.
+  PhyRate rate;                   // r_i.
+};
+
+struct ModelResult {
+  double airtime_share = 0;   // T(i).
+  double base_rate_mbps = 0;  // R(n_i, l_i, r_i): rate with the whole medium.
+  double rate_mbps = 0;       // R(i) = T(i) * base rate.
+};
+
+// Eq. (2) plus the per-transmission overhead T_oh of Eq. (3):
+// T_oh = T_DIFS + T_SIFS + T_ack + T_BO with T_ack = T_SIFS + 8*58/r_i and
+// T_BO = slot * CWmin / 2 = 68 us.
+double TransmissionOverheadUs(const PhyRate& rate);
+
+// Eq. (3): expected rate, in Mbit/s, for a station holding the medium alone.
+double BaselineRateMbps(const ModelStation& station);
+
+// Eqs. (4)-(5) across a set of active stations.
+std::vector<ModelResult> PredictStations(const std::vector<ModelStation>& stations,
+                                         bool airtime_fairness);
+
+// Sum of R(i) over all stations (the Table 1 "Total" rows).
+double TotalRateMbps(const std::vector<ModelResult>& results);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_MODEL_ANALYTICAL_H_

@@ -1,0 +1,42 @@
+#include "src/net/host.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace airfair {
+
+void Host::Send(PacketPtr packet) {
+  assert(egress_ && "host egress not wired");
+  if (packet->created.IsZero()) {
+    packet->created = sim_->now();
+  }
+  egress_(std::move(packet));
+}
+
+void Host::Deliver(PacketPtr packet) {
+  if (packet->type == PacketType::kIcmpEchoRequest) {
+    // Reflect: swap src/dst, keep echo id and size, preserve QoS marking and
+    // the original creation timestamp so the sender measures full RTT.
+    auto reply = std::make_unique<Packet>();
+    reply->size_bytes = packet->size_bytes;
+    reply->type = PacketType::kIcmpEchoReply;
+    reply->flow = FlowKey{packet->flow.dst_node, packet->flow.src_node, packet->flow.dst_port,
+                          packet->flow.src_port, /*protocol=*/1};
+    reply->tid = packet->tid;
+    reply->echo_id = packet->echo_id;
+    reply->created = packet->created;
+    Send(std::move(reply));
+    return;
+  }
+  const auto it = ports_.find(packet->flow.dst_port);
+  if (it == ports_.end()) {
+    ++undeliverable_;
+    AF_LOG(kDebug) << "node " << node_id_ << ": no endpoint on port " << packet->flow.dst_port;
+    return;
+  }
+  it->second->Deliver(std::move(packet));
+}
+
+}  // namespace airfair

@@ -1,0 +1,66 @@
+// Host: the transport-layer attachment point of a node.
+//
+// A Host demultiplexes delivered packets to registered endpoints by
+// destination port, auto-answers ICMP echo requests, and sends outgoing
+// packets through an egress function wired up by the topology (scenario)
+// layer. This keeps routing trivial: the testbed is a line
+// server <-> AP <-> stations, so each hop knows where packets go next.
+
+#ifndef AIRFAIR_SRC_NET_HOST_H_
+#define AIRFAIR_SRC_NET_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+
+namespace airfair {
+
+// Implemented by transport endpoints (TCP sockets, UDP sinks, ping senders).
+class PacketEndpoint {
+ public:
+  virtual ~PacketEndpoint() = default;
+  virtual void Deliver(PacketPtr packet) = 0;
+};
+
+class Host {
+ public:
+  Host(Simulation* sim, uint32_t node_id) : sim_(sim), node_id_(node_id) {}
+
+  uint32_t node_id() const { return node_id_; }
+  Simulation* sim() const { return sim_; }
+
+  // The topology layer installs the first hop for outgoing packets.
+  void set_egress(std::function<void(PacketPtr)> egress) { egress_ = std::move(egress); }
+
+  // Registers `endpoint` to receive packets addressed to `port`.
+  void BindPort(uint16_t port, PacketEndpoint* endpoint) { ports_[port] = endpoint; }
+  void UnbindPort(uint16_t port) { ports_.erase(port); }
+
+  // Returns a fresh ephemeral port.
+  uint16_t AllocatePort() { return next_port_++; }
+
+  // Transmits a packet (stamps creation time if unset).
+  void Send(PacketPtr packet);
+
+  // Called by the attached link/MAC when a packet reaches this node.
+  // Responds to pings; otherwise demuxes on dst_port. Unroutable packets are
+  // dropped (counted).
+  void Deliver(PacketPtr packet);
+
+  int64_t undeliverable_count() const { return undeliverable_; }
+
+ private:
+  Simulation* sim_;
+  uint32_t node_id_;
+  std::function<void(PacketPtr)> egress_;
+  std::unordered_map<uint16_t, PacketEndpoint*> ports_;
+  uint16_t next_port_ = 40000;
+  int64_t undeliverable_ = 0;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_NET_HOST_H_

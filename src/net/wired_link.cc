@@ -1,0 +1,42 @@
+#include "src/net/wired_link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace airfair {
+
+void WiredLink::Direction::Send(PacketPtr packet) {
+  if (static_cast<int>(queue_.size()) >= config_.max_queue_packets) {
+    ++drops_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void WiredLink::Direction::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  PacketPtr packet = std::move(queue_.front());
+  queue_.pop_front();
+  const double tx_seconds = static_cast<double>(packet->size_bytes) * 8.0 / config_.rate_bps;
+  const TimeUs tx_time = TimeUs::FromSeconds(tx_seconds);
+  // Delivery happens after serialization + propagation; the transmitter is
+  // free again after serialization alone. The shared holder keeps the packet
+  // owned even if the simulation ends before the event fires (std::function
+  // requires copyable captures).
+  auto holder = std::make_shared<PacketPtr>(std::move(packet));
+  sim_->After(tx_time + config_.one_way_delay, [this, holder] {
+    assert(deliver_);
+    ++delivered_;
+    deliver_(std::move(*holder));
+  });
+  sim_->After(tx_time, [this] { StartNext(); });
+}
+
+}  // namespace airfair

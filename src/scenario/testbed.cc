@@ -1,0 +1,200 @@
+#include "src/scenario/testbed.h"
+
+#include <utility>
+
+#include "src/aqm/fifo.h"
+#include "src/aqm/fq_codel.h"
+#include "src/util/stats.h"
+
+namespace airfair {
+
+const char* SchemeName(QueueScheme scheme) {
+  switch (scheme) {
+    case QueueScheme::kFifo:
+      return "FIFO";
+    case QueueScheme::kFqCodel:
+      return "FQ-CoDel";
+    case QueueScheme::kFqMac:
+      return "FQ-MAC";
+    case QueueScheme::kAirtimeFair:
+      return "Airtime";
+  }
+  return "?";
+}
+
+StationSpec FastStation(const std::string& name) {
+  return StationSpec{FastStationRate(), name};
+}
+
+StationSpec SlowStation(const std::string& name) {
+  return StationSpec{SlowStationRate(), name};
+}
+
+StationSpec LegacyStation(const std::string& name) {
+  return StationSpec{OneMbpsRate(), name};
+}
+
+StationSpec AutoRateStation(const std::string& name, double snr_db) {
+  StationSpec spec;
+  spec.name = name;
+  spec.auto_rate = true;
+  spec.snr_db = snr_db;
+  // Start conservatively; Minstrel probes upward from here.
+  spec.rate = McsRate(0, /*short_gi=*/true);
+  return spec;
+}
+
+std::vector<StationSpec> ThreeStationSetup() {
+  return {FastStation("fast-1"), FastStation("fast-2"), SlowStation("slow")};
+}
+
+Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_) {
+  // Server.
+  server_host_ = std::make_unique<Host>(&sim_, server_node());
+
+  // Stations: table entries, per-station hosts and MACs.
+  for (size_t i = 0; i < config.stations.size(); ++i) {
+    const StationSpec& spec = config.stations[i];
+    const uint32_t node = station_node(static_cast<int>(i));
+    const StationId id = station_table_.Add(StationInfo{node, spec.rate, spec.name});
+    if (spec.auto_rate) {
+      // SNR-based channel plus Minstrel-style rate selection.
+      const double snr = spec.snr_db;
+      medium_.SetErrorModel(id, [snr](const PhyRate& rate) {
+        if (rate.mcs < 0) {
+          return 0.0;  // Legacy rates are assumed robust.
+        }
+        return MpduErrorProbability(snr, rate.mcs);
+      });
+      rate_controls_.push_back(
+          std::make_unique<MinstrelRateControl>(config.seed * 977 + i + 1));
+      station_table_.GetMutable(id).rate =
+          rate_controls_.back()->PickRate();
+    } else {
+      medium_.SetErrorRate(id, spec.error_rate);
+      rate_controls_.push_back(nullptr);
+    }
+    station_hosts_.push_back(std::make_unique<Host>(&sim_, node));
+  }
+
+  ap_ = std::make_unique<AccessPoint>(&sim_, &medium_, &station_table_, ap_node());
+  BuildBackend(config);
+
+  for (size_t i = 0; i < config.stations.size(); ++i) {
+    auto station = std::make_unique<WifiStation>(&sim_, &medium_, &station_table_,
+                                                 static_cast<StationId>(i), ap_node());
+    WifiStation* raw = station.get();
+    station_hosts_[i]->set_egress([raw](PacketPtr packet) { raw->SendUplink(std::move(packet)); });
+    wifi_stations_.push_back(std::move(station));
+  }
+
+  // Wired hop: server <-> AP.
+  link_ = std::make_unique<WiredLink>(&sim_, config.wire);
+  server_host_->set_egress(
+      [this](PacketPtr packet) { link_->forward().Send(std::move(packet)); });
+  link_->forward().set_deliver([this](PacketPtr packet) { ap_->FromWire(std::move(packet)); });
+  ap_->set_wire_egress([this](PacketPtr packet) { link_->reverse().Send(std::move(packet)); });
+  link_->reverse().set_deliver(
+      [this](PacketPtr packet) { server_host_->Deliver(std::move(packet)); });
+
+  // Radio delivery runs through per-receiver block-ack reorder buffers so
+  // MAC retries do not surface as transport-level reordering.
+  for (size_t i = 0; i < config.stations.size(); ++i) {
+    Host* host = station_hosts_[i].get();
+    reorder_.push_back(std::make_unique<ReorderBuffer>(
+        &sim_, [host](PacketPtr packet) { host->Deliver(std::move(packet)); }));
+  }
+  reorder_.push_back(std::make_unique<ReorderBuffer>(
+      &sim_, [this](PacketPtr packet) { ap_->FromWifi(std::move(packet)); }));
+  medium_.set_deliver([this](PacketPtr packet, uint32_t src_node, uint32_t dst_node) {
+    const Tid tid = packet->tid;
+    if (dst_node == ap_node()) {
+      reorder_.back()->Receive(std::move(packet), src_node, tid);
+      return;
+    }
+    const StationId id = station_table_.FromNode(dst_node);
+    if (id != kNoStation) {
+      reorder_[static_cast<size_t>(id)]->Receive(std::move(packet), src_node, tid);
+    }
+  });
+  medium_.set_rx_airtime_handler([this](StationId station, AccessCategory ac, TimeUs airtime) {
+    ap_->OnRxAirtime(station, ac, airtime);
+  });
+
+  // Rate-control feedback loop: block-ack results update Minstrel, which
+  // re-picks the station's current rate in the shared table.
+  ap_->set_tx_observer([this](const TxDescriptor& tx, int succeeded) {
+    if (tx.station < 0 || tx.station >= static_cast<StationId>(rate_controls_.size())) {
+      return;
+    }
+    MinstrelRateControl* control = rate_controls_[static_cast<size_t>(tx.station)].get();
+    if (control == nullptr || tx.rate.mcs < 0) {
+      return;
+    }
+    control->ReportResult(tx.rate.mcs, tx.frame_count(), succeeded);
+    station_table_.GetMutable(tx.station).rate = control->PickRate();
+  });
+}
+
+void Testbed::BuildBackend(const TestbedConfig& config) {
+  switch (config.scheme) {
+    case QueueScheme::kFifo: {
+      auto qdisc = std::make_unique<FifoQdisc>(config.fifo_limit_packets);
+      ap_->SetBackend(std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
+                                                     ap_node(), config.qdisc_backend));
+      break;
+    }
+    case QueueScheme::kFqCodel: {
+      FqCodelConfig fq;
+      Simulation* sim = &sim_;
+      auto qdisc = std::make_unique<FqCodelQdisc>([sim] { return sim->now(); }, fq);
+      ap_->SetBackend(std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
+                                                     ap_node(), config.qdisc_backend));
+      break;
+    }
+    case QueueScheme::kFqMac: {
+      MacQueueBackend::Config be = config.mac_backend;
+      be.airtime_fairness = false;
+      ap_->SetBackend(std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be));
+      break;
+    }
+    case QueueScheme::kAirtimeFair: {
+      MacQueueBackend::Config be = config.mac_backend;
+      be.airtime_fairness = true;
+      ap_->SetBackend(std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be));
+      break;
+    }
+  }
+}
+
+void Testbed::StartMeasurement() {
+  measurement_start_ = sim_.now();
+  airtime_baseline_ = medium_.AirtimeSnapshot();
+  airtime_baseline_.resize(static_cast<size_t>(station_table_.size()), TimeUs::Zero());
+}
+
+std::vector<double> Testbed::AirtimeShares() const {
+  std::vector<TimeUs> current = medium_.AirtimeSnapshot();
+  current.resize(static_cast<size_t>(station_table_.size()), TimeUs::Zero());
+  std::vector<double> shares(current.size(), 0.0);
+  double total = 0;
+  for (size_t i = 0; i < current.size(); ++i) {
+    const TimeUs base =
+        i < airtime_baseline_.size() ? airtime_baseline_[i] : TimeUs::Zero();
+    shares[i] = (current[i] - base).ToSeconds();
+    total += shares[i];
+  }
+  if (total > 0) {
+    for (auto& s : shares) {
+      s /= total;
+    }
+  }
+  return shares;
+}
+
+double Testbed::JainAirtimeIndex() const {
+  const std::vector<double> shares = AirtimeShares();
+  return JainFairnessIndex(shares);
+}
+
+}  // namespace airfair

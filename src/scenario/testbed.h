@@ -1,0 +1,135 @@
+// The paper's testbed as a reusable simulation scenario.
+//
+// Topology (Section 4): a server one Gigabit-Ethernet hop from the access
+// point, plus wireless stations. The canonical setup has two fast stations
+// (MCS 15, 144.4 Mbit/s), one slow station (MCS 0, 7.2 Mbit/s) and
+// optionally a fourth "sparse" station used for the sparse-station
+// optimisation experiments; the scaling setup has 30 stations.
+//
+// Node ids: 0 = server, 1 = access point, 2+i = station i.
+
+#ifndef AIRFAIR_SRC_SCENARIO_TESTBED_H_
+#define AIRFAIR_SRC_SCENARIO_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/mac_queue_backend.h"
+#include "src/mac/access_point.h"
+#include "src/mac/medium.h"
+#include "src/mac/channel_model.h"
+#include "src/mac/qdisc_backend.h"
+#include "src/mac/rate_control.h"
+#include "src/mac/reorder.h"
+#include "src/mac/station.h"
+#include "src/mac/station_table.h"
+#include "src/net/host.h"
+#include "src/net/wired_link.h"
+#include "src/sim/simulation.h"
+
+namespace airfair {
+
+// The four queue-management schemes of the evaluation (Section 4).
+enum class QueueScheme {
+  kFifo,         // Default kernel: PFIFO qdisc above the driver queues.
+  kFqCodel,      // FQ-CoDel qdisc above the driver queues.
+  kFqMac,        // The paper's intermediate MAC queues (Algorithms 1-2).
+  kAirtimeFair,  // FQ-MAC plus the airtime scheduler (Algorithm 3).
+};
+
+const char* SchemeName(QueueScheme scheme);
+
+struct StationSpec {
+  PhyRate rate;
+  std::string name;
+  double error_rate = 0.0;  // Per-MPDU loss probability on the air.
+
+  // Dynamic rate selection: when enabled, the station's rate is chosen by a
+  // Minstrel-style controller against an SNR-based channel model (`rate` is
+  // only the starting point). This also drives the Section 3.1.1 CoDel
+  // adaptation from a live rate-selection estimate, as in the paper.
+  bool auto_rate = false;
+  double snr_db = 30.0;
+};
+
+// A station whose rate is selected dynamically for the given channel SNR.
+StationSpec AutoRateStation(const std::string& name, double snr_db);
+
+StationSpec FastStation(const std::string& name);   // MCS 15, 144.4 Mbit/s.
+StationSpec SlowStation(const std::string& name);   // MCS 0, 7.2 Mbit/s.
+StationSpec LegacyStation(const std::string& name); // 1 Mbit/s, no HT.
+
+// The paper's standard 3-station setup (two fast, one slow).
+std::vector<StationSpec> ThreeStationSetup();
+
+struct TestbedConfig {
+  uint64_t seed = 1;
+  QueueScheme scheme = QueueScheme::kFifo;
+  std::vector<StationSpec> stations = ThreeStationSetup();
+  WiredLink::Config wire;  // Defaults: 1 Gbit/s, 100 us one-way.
+  int fifo_limit_packets = 1000;
+  QdiscBackend::Config qdisc_backend;
+  // Settings for the FQ-MAC / airtime backends (ablation switches live
+  // here; `airtime_fairness` is overridden by `scheme`).
+  MacQueueBackend::Config mac_backend;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulation& sim() { return sim_; }
+  WifiMedium& medium() { return medium_; }
+  AccessPoint& ap() { return *ap_; }
+  const StationTable& stations() const { return station_table_; }
+  int station_count() const { return static_cast<int>(wifi_stations_.size()); }
+
+  Host* server_host() { return server_host_.get(); }
+  Host* station_host(int i) { return station_hosts_[static_cast<size_t>(i)].get(); }
+  WifiStation* wifi_station(int i) { return wifi_stations_[static_cast<size_t>(i)].get(); }
+
+  uint32_t server_node() const { return 0; }
+  uint32_t ap_node() const { return 1; }
+  uint32_t station_node(int i) const { return 2 + static_cast<uint32_t>(i); }
+
+  // Snapshots the airtime ledger; shares/indices are computed over airtime
+  // used after this point (skipping warmup).
+  void StartMeasurement();
+  TimeUs measurement_start() const { return measurement_start_; }
+
+  // Per-station airtime used since StartMeasurement, normalised to sum 1
+  // over stations that used any airtime.
+  std::vector<double> AirtimeShares() const;
+  double JainAirtimeIndex() const;
+
+  // Rate controller for an auto-rate station (nullptr otherwise).
+  MinstrelRateControl* rate_control(StationId station) {
+    return rate_controls_[static_cast<size_t>(station)].get();
+  }
+
+ private:
+  void BuildBackend(const TestbedConfig& config);
+
+  Simulation sim_;
+  StationTable station_table_;
+  WifiMedium medium_;
+  std::unique_ptr<Host> server_host_;
+  std::vector<std::unique_ptr<Host>> station_hosts_;
+  std::vector<std::unique_ptr<WifiStation>> wifi_stations_;
+  std::unique_ptr<AccessPoint> ap_;
+  std::unique_ptr<WiredLink> link_;
+  // Block-ack reorder buffers: one per receiving node (index 0..n-1 =
+  // stations, last = AP).
+  std::vector<std::unique_ptr<ReorderBuffer>> reorder_;
+  std::vector<std::unique_ptr<MinstrelRateControl>> rate_controls_;
+  TimeUs measurement_start_;
+  std::vector<TimeUs> airtime_baseline_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_SCENARIO_TESTBED_H_

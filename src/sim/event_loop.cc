@@ -1,0 +1,50 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace airfair {
+
+EventHandle EventLoop::ScheduleAt(TimeUs when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventLoop::RunUntil(TimeUs end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > end) {
+      break;
+    }
+    // Copy out before pop; pop invalidates the reference.
+    Event event = top;
+    queue_.pop();
+    now_ = event.when;
+    if (!*event.cancelled) {
+      *event.cancelled = true;  // Mark fired so handles report !pending().
+      event.fn();
+    }
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+bool EventLoop::RunOne() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    if (*event.cancelled) {
+      continue;
+    }
+    *event.cancelled = true;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace airfair

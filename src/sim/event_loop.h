@@ -1,0 +1,95 @@
+// Discrete-event simulation core.
+//
+// A binary-heap event queue keyed by (time, sequence number); the sequence
+// number makes same-time events fire in scheduling order, which keeps runs
+// deterministic. Events are arbitrary callables and can be cancelled through
+// the returned handle.
+
+#ifndef AIRFAIR_SRC_SIM_EVENT_LOOP_H_
+#define AIRFAIR_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace airfair {
+
+// Cancellation handle for a scheduled event. Copyable; cancelling twice is
+// harmless. A default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True while the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !*state_; }
+
+  // Prevents the event from firing. No-op if it already fired or was
+  // cancelled.
+  void Cancel() {
+    if (state_) {
+      *state_ = true;
+    }
+  }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<bool> state_;  // true = cancelled-or-fired
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  TimeUs now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= now).
+  EventHandle ScheduleAt(TimeUs when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventHandle ScheduleAfter(TimeUs delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue is empty or simulated time would pass `end`.
+  // The clock finishes at `end` (or earlier if the queue drains).
+  void RunUntil(TimeUs end);
+
+  // Runs a single event if one is pending; returns false when the queue is
+  // empty. Mostly for tests.
+  bool RunOne();
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeUs when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+
+    // Min-heap via std::priority_queue (which is a max-heap): invert.
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  TimeUs now_ = TimeUs::Zero();
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event> queue_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_SIM_EVENT_LOOP_H_

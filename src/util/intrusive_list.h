@@ -1,0 +1,158 @@
+// Intrusive doubly-linked list in the style of the Linux kernel's list_head.
+//
+// The queueing algorithms of the paper (Algorithms 1-3) are expressed in terms
+// of list_add / list_move / list_del on lists of queues and stations; an
+// intrusive list makes those O(1) and lets an element determine its own
+// membership, which the dequeue algorithms rely on ("if queue is in
+// tid.new_queues then ... else list_del").
+
+#ifndef AIRFAIR_SRC_UTIL_INTRUSIVE_LIST_H_
+#define AIRFAIR_SRC_UTIL_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace airfair {
+
+// Embed one of these per list a type can be on. A node is "linked" when it is
+// on some list; unlinking resets it to the detached state. The node keeps a
+// back-pointer to its enclosing object (set on insertion), which sidesteps
+// offsetof restrictions on non-standard-layout types.
+class ListNode {
+ public:
+  ListNode() = default;
+  ~ListNode() { Unlink(); }
+
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  bool linked() const { return next_ != nullptr; }
+
+  // Removes this node from whatever list it is on (no-op if detached).
+  void Unlink() {
+    if (!linked()) {
+      return;
+    }
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    next_ = nullptr;
+    prev_ = nullptr;
+  }
+
+ private:
+  template <typename T, ListNode T::* Member>
+  friend class IntrusiveList;
+
+  ListNode* next_ = nullptr;
+  ListNode* prev_ = nullptr;
+  void* owner_ = nullptr;
+};
+
+// A list of T, linked through the given ListNode member. Does not own its
+// elements. Example:
+//
+//   struct Queue { ListNode node; ... };
+//   IntrusiveList<Queue, &Queue::node> new_queues;
+//   new_queues.PushBack(q);
+//   Queue* first = new_queues.Front();
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.next_ = &head_;
+    head_.prev_ = &head_;
+  }
+
+  ~IntrusiveList() { Clear(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next_ == &head_; }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const ListNode* p = head_.next_; p != &head_; p = p->next_) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Appends `item` to the tail. The item must not currently be on any list.
+  void PushBack(T* item) {
+    ListNode* node = &(item->*Member);
+    assert(!node->linked());
+    node->owner_ = item;
+    node->prev_ = head_.prev_;
+    node->next_ = &head_;
+    head_.prev_->next_ = node;
+    head_.prev_ = node;
+  }
+
+  // Prepends `item` to the head. The item must not currently be on any list.
+  void PushFront(T* item) {
+    ListNode* node = &(item->*Member);
+    assert(!node->linked());
+    node->owner_ = item;
+    node->next_ = head_.next_;
+    node->prev_ = &head_;
+    head_.next_->prev_ = node;
+    head_.next_ = node;
+  }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next_); }
+  T* Back() const { return empty() ? nullptr : FromNode(head_.prev_); }
+
+  T* PopFront() {
+    T* item = Front();
+    if (item != nullptr) {
+      (item->*Member).Unlink();
+    }
+    return item;
+  }
+
+  // list_move semantics: unlink from the current list (if any) and append to
+  // the tail of this one.
+  void MoveToBack(T* item) {
+    (item->*Member).Unlink();
+    PushBack(item);
+  }
+
+  // True when `item` is the element at the front of this list.
+  bool IsFront(const T* item) const { return !empty() && Front() == item; }
+
+  // Detaches every element.
+  void Clear() {
+    while (PopFront() != nullptr) {
+    }
+  }
+
+  // Forward iteration. Safe against unlinking the *current* element inside
+  // the loop body only if the increment happens first (capture next before
+  // mutating); the evaluation harness iterates read-only.
+  class Iterator {
+   public:
+    explicit Iterator(ListNode* node) : node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode* node_;
+  };
+
+  Iterator begin() const { return Iterator(head_.next_); }
+  Iterator end() const { return Iterator(const_cast<ListNode*>(&head_)); }
+
+ private:
+  static T* FromNode(const ListNode* node) { return static_cast<T*>(node->owner_); }
+
+  ListNode head_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_UTIL_INTRUSIVE_LIST_H_

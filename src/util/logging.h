@@ -1,0 +1,62 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is stream-based and cheap when disabled: the macro short-circuits
+// before evaluating the streamed expressions. Intended for debugging
+// simulations, not for hot paths in measurement runs (the default level is
+// kWarning so production benches stay quiet).
+
+#ifndef AIRFAIR_SRC_UTIL_LOGGING_H_
+#define AIRFAIR_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace airfair {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted line to stderr. Used via the AF_LOG macro.
+void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_detail {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LineBuilder() { EmitLogLine(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+
+}  // namespace airfair
+
+#define AF_LOG(level)                                      \
+  if (::airfair::LogLevel::level < ::airfair::GetLogLevel()) { \
+  } else                                                   \
+    ::airfair::log_detail::LineBuilder(::airfair::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // AIRFAIR_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,127 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airfair {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::CdfAt(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::CdfPoints(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points <= 0) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(Quantile(q), q);
+  }
+  return out;
+}
+
+double JainFairnessIndex(std::span<const double> shares) {
+  if (shares.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+double ThroughputMeter::Mbps(TimeUs start, TimeUs end) const {
+  const TimeUs span = end - start;
+  if (span.us() <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes_) * 8.0 / span.ToSeconds() / 1e6;
+}
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) {
+    return values[n / 2];
+  }
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace airfair

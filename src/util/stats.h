@@ -1,0 +1,102 @@
+// Statistics utilities used by the evaluation harness: running summary
+// statistics, sample collections with quantiles/CDFs, throughput meters, and
+// Jain's fairness index (used for the paper's Figure 6).
+
+#ifndef AIRFAIR_SRC_UTIL_STATS_H_
+#define AIRFAIR_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace airfair {
+
+// Numerically stable (Welford) running mean / variance / min / max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Collects individual samples and answers quantile / CDF queries.
+// Used for the latency distributions in Figures 1, 4, 8 and 10.
+class SampleSet {
+ public:
+  void Add(double x);
+  void AddTime(TimeUs t) { Add(t.ToMilliseconds()); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+
+  // Quantile with linear interpolation; q in [0, 1]. Returns 0 on empty.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  // Fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  // Evenly spaced (in probability) CDF points, e.g. for plotting/printing:
+  // returns `points` pairs of (value, cumulative probability).
+  std::vector<std::pair<double, double>> CdfPoints(int points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). Equals 1 for a perfectly
+// even allocation and 1/n when one party receives everything.
+double JainFairnessIndex(std::span<const double> shares);
+
+// Counts bytes over a window to report throughput in Mbit/s.
+class ThroughputMeter {
+ public:
+  void AddBytes(int64_t bytes) { bytes_ += bytes; }
+  int64_t total_bytes() const { return bytes_; }
+  int64_t packets() const { return packets_; }
+  void AddPacket(int64_t bytes) {
+    bytes_ += bytes;
+    ++packets_;
+  }
+
+  // Average rate over [start, end] in Mbit/s.
+  double Mbps(TimeUs start, TimeUs end) const;
+
+ private:
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+};
+
+// Median of a (small) vector; convenience for aggregating per-repetition
+// results the way the paper does ("median over all repetitions of the
+// per-test mean").
+double MedianOf(std::vector<double> values);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_UTIL_STATS_H_

@@ -1,0 +1,86 @@
+// Microsecond-resolution simulation time.
+//
+// The whole library uses integer microseconds, for two reasons: the 802.11
+// timing constants (slot time, SIFS, DIFS, PHY preamble) are specified in
+// microseconds, and the paper's airtime-fairness scheduler accounts station
+// deficits in microseconds (Section 3.2). A strong type keeps units explicit
+// and prevents accidental mixing with byte counts or packet counts.
+
+#ifndef AIRFAIR_SRC_UTIL_TIME_H_
+#define AIRFAIR_SRC_UTIL_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace airfair {
+
+// A point in simulated time, or a duration, in integer microseconds.
+//
+// TimeUs is deliberately a single type for both instants and durations; the
+// simulation is small enough that the flexibility (deficits can go negative,
+// timestamps subtract to durations) outweighs the extra type safety of a
+// two-type design.
+class TimeUs {
+ public:
+  constexpr TimeUs() : us_(0) {}
+  constexpr explicit TimeUs(int64_t microseconds) : us_(microseconds) {}
+
+  static constexpr TimeUs Zero() { return TimeUs(0); }
+  static constexpr TimeUs Max() { return TimeUs(std::numeric_limits<int64_t>::max()); }
+
+  static constexpr TimeUs FromSeconds(double s) {
+    return TimeUs(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr TimeUs FromMilliseconds(double ms) {
+    return TimeUs(static_cast<int64_t>(ms * 1e3));
+  }
+  static constexpr TimeUs FromMicroseconds(int64_t us) { return TimeUs(us); }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double ToSeconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double ToMilliseconds() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr bool IsZero() const { return us_ == 0; }
+  constexpr bool IsNegative() const { return us_ < 0; }
+
+  constexpr TimeUs operator+(TimeUs other) const { return TimeUs(us_ + other.us_); }
+  constexpr TimeUs operator-(TimeUs other) const { return TimeUs(us_ - other.us_); }
+  constexpr TimeUs operator-() const { return TimeUs(-us_); }
+  constexpr TimeUs operator*(int64_t k) const { return TimeUs(us_ * k); }
+  constexpr TimeUs operator/(int64_t k) const { return TimeUs(us_ / k); }
+  constexpr int64_t operator/(TimeUs other) const { return us_ / other.us_; }
+
+  TimeUs& operator+=(TimeUs other) {
+    us_ += other.us_;
+    return *this;
+  }
+  TimeUs& operator-=(TimeUs other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimeUs&) const = default;
+
+ private:
+  int64_t us_;
+};
+
+constexpr TimeUs operator*(int64_t k, TimeUs t) { return t * k; }
+
+inline std::ostream& operator<<(std::ostream& os, TimeUs t) { return os << t.us() << "us"; }
+
+namespace time_literals {
+constexpr TimeUs operator""_us(unsigned long long v) { return TimeUs(static_cast<int64_t>(v)); }
+constexpr TimeUs operator""_ms(unsigned long long v) {
+  return TimeUs(static_cast<int64_t>(v) * 1000);
+}
+constexpr TimeUs operator""_s(unsigned long long v) {
+  return TimeUs(static_cast<int64_t>(v) * 1000000);
+}
+}  // namespace time_literals
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_UTIL_TIME_H_

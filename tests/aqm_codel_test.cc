@@ -1,0 +1,155 @@
+#include "src/aqm/codel.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace airfair {
+namespace {
+
+using namespace time_literals;
+
+class CodelQdiscTest : public ::testing::Test {
+ protected:
+  TimeUs now_;
+  CoDelQdisc qdisc_{[this] { return now_; }, CoDelParams::Default(), /*limit_packets=*/100};
+};
+
+TEST_F(CodelQdiscTest, PassesThroughWhenIdle) {
+  qdisc_.Enqueue(MakePacket());
+  PacketPtr p = qdisc_.Dequeue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(qdisc_.drops(), 0);
+}
+
+TEST_F(CodelQdiscTest, NoDropsBelowTarget) {
+  // Sojourn always < 5 ms target: no drops regardless of volume.
+  for (int i = 0; i < 1000; ++i) {
+    qdisc_.Enqueue(MakePacket());
+    now_ += 1_ms;
+    EXPECT_NE(qdisc_.Dequeue(), nullptr);
+  }
+  EXPECT_EQ(qdisc_.drops(), 0);
+  EXPECT_FALSE(qdisc_.state().dropping());
+}
+
+TEST_F(CodelQdiscTest, NoDropUntilIntervalElapses) {
+  // Sojourn above target but for less than one interval (100 ms).
+  for (int i = 0; i < 9; ++i) {
+    qdisc_.Enqueue(MakePacket());
+  }
+  now_ += 10_ms;  // All packets now 10 ms old (> 5 ms target).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(qdisc_.Dequeue(), nullptr);
+    now_ += 10_ms;
+  }
+  EXPECT_EQ(qdisc_.drops(), 0);
+}
+
+TEST_F(CodelQdiscTest, DropsAfterSustainedExcess) {
+  // Keep the queue standing above target past the interval: CoDel must
+  // enter dropping mode.
+  for (int i = 0; i < 200; ++i) {
+    qdisc_.Enqueue(MakePacket());
+    now_ += 1_ms;
+    if (i % 2 == 0) {
+      // Drain at half the enqueue rate: the queue builds.
+      (void)qdisc_.Dequeue();
+    }
+  }
+  EXPECT_GT(qdisc_.drops(), 0);
+}
+
+TEST_F(CodelQdiscTest, DropRateAccelerates) {
+  // With a persistently bad queue the control law drops more and more
+  // frequently (interval / sqrt(count)).
+  int drops_first_half = 0;
+  int drops_second_half = 0;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int i = 0; i < 500; ++i) {
+      qdisc_.Enqueue(MakePacket());
+      qdisc_.Enqueue(MakePacket());
+      now_ += 2_ms;
+      const int before = static_cast<int>(qdisc_.drops());
+      (void)qdisc_.Dequeue();
+      const int dropped = static_cast<int>(qdisc_.drops()) - before;
+      (phase == 0 ? drops_first_half : drops_second_half) += dropped;
+    }
+  }
+  EXPECT_GT(drops_second_half, drops_first_half);
+}
+
+TEST_F(CodelQdiscTest, ExitsDroppingWhenQueueRecovers) {
+  // Build a bad queue.
+  for (int i = 0; i < 300; ++i) {
+    qdisc_.Enqueue(MakePacket());
+    qdisc_.Enqueue(MakePacket());
+    now_ += 2_ms;
+    (void)qdisc_.Dequeue();
+  }
+  EXPECT_GT(qdisc_.drops(), 0);
+  // Drain completely; fresh packets then see an empty queue.
+  while (qdisc_.Dequeue() != nullptr) {
+  }
+  const int64_t drops_after_drain = qdisc_.drops();
+  for (int i = 0; i < 100; ++i) {
+    qdisc_.Enqueue(MakePacket());
+    now_ += 100_us;
+    EXPECT_NE(qdisc_.Dequeue(), nullptr);
+  }
+  EXPECT_EQ(qdisc_.drops(), drops_after_drain);
+}
+
+TEST_F(CodelQdiscTest, TailDropsAtLimit) {
+  for (int i = 0; i < 150; ++i) {
+    qdisc_.Enqueue(MakePacket());
+  }
+  EXPECT_EQ(qdisc_.packet_count(), 100);
+  EXPECT_EQ(qdisc_.drops(), 50);
+}
+
+TEST_F(CodelQdiscTest, EmptyDequeueReturnsNull) {
+  EXPECT_EQ(qdisc_.Dequeue(), nullptr);
+}
+
+TEST(CodelParams, LowRateValuesMatchPaper) {
+  const CoDelParams low = CoDelParams::LowRate();
+  EXPECT_EQ(low.target, 50_ms);
+  EXPECT_EQ(low.interval, 300_ms);
+  const CoDelParams normal = CoDelParams::Default();
+  EXPECT_EQ(normal.target, 5_ms);
+  EXPECT_EQ(normal.interval, 100_ms);
+}
+
+TEST(CodelState, LargerTargetToleratesMoreSojourn) {
+  TimeUs now;
+  CoDelQdisc normal([&now] { return now; }, CoDelParams::Default(), 10000);
+  CoDelQdisc low([&now] { return now; }, CoDelParams::LowRate(), 10000);
+  // Steady 30 ms sojourn: above the 5 ms target, below the 50 ms one.
+  for (int i = 0; i < 400; ++i) {
+    normal.Enqueue(MakePacket());
+    low.Enqueue(MakePacket());
+    now += 2_ms;
+    if (i >= 15) {  // Keep ~15 packets standing (30 ms at this rate).
+      (void)normal.Dequeue();
+      (void)low.Dequeue();
+    }
+  }
+  EXPECT_GT(normal.drops(), 0);
+  EXPECT_EQ(low.drops(), 0);
+}
+
+TEST(CodelState, ResetClearsDroppingState) {
+  TimeUs now;
+  CoDelQdisc q([&now] { return now; }, CoDelParams::Default(), 10000);
+  for (int i = 0; i < 300; ++i) {
+    q.Enqueue(MakePacket());
+    q.Enqueue(MakePacket());
+    now += 2_ms;
+    (void)q.Dequeue();
+  }
+  EXPECT_TRUE(q.state().dropping());
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,97 @@
+#include "src/core/codel_adaptation.h"
+
+#include <gtest/gtest.h>
+
+namespace airfair {
+namespace {
+
+using namespace time_literals;
+
+class CodelAdaptationTest : public ::testing::Test {
+ protected:
+  CodelAdaptation Make() {
+    return CodelAdaptation([this] { return now_; });
+  }
+  TimeUs now_;
+};
+
+TEST_F(CodelAdaptationTest, UnknownStationUsesNormalParams) {
+  CodelAdaptation adapt = Make();
+  EXPECT_FALSE(adapt.IsLowRate(0));
+  EXPECT_EQ(adapt.ParamsFor(0).target, 5_ms);
+  EXPECT_EQ(adapt.ParamsFor(0).interval, 100_ms);
+}
+
+TEST_F(CodelAdaptationTest, BelowThresholdSwitchesToLowRateParams) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 6e6);  // Below 12 Mbit/s.
+  EXPECT_TRUE(adapt.IsLowRate(0));
+  EXPECT_EQ(adapt.ParamsFor(0).target, 50_ms);
+  EXPECT_EQ(adapt.ParamsFor(0).interval, 300_ms);
+}
+
+TEST_F(CodelAdaptationTest, AboveThresholdStaysNormal) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 100e6);
+  EXPECT_FALSE(adapt.IsLowRate(0));
+}
+
+TEST_F(CodelAdaptationTest, ThresholdIsTwelveMbps) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 11.9e6);
+  EXPECT_TRUE(adapt.IsLowRate(0));
+  adapt.UpdateExpectedThroughput(1, 12.1e6);
+  EXPECT_FALSE(adapt.IsLowRate(1));
+}
+
+TEST_F(CodelAdaptationTest, HysteresisBlocksRapidFlapping) {
+  // The paper: "values are not changed more than once every two seconds."
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 100e6);
+  EXPECT_FALSE(adapt.IsLowRate(0));
+  now_ += 500_ms;
+  adapt.UpdateExpectedThroughput(0, 6e6);  // Within hysteresis: ignored.
+  EXPECT_FALSE(adapt.IsLowRate(0));
+  now_ += 2_s;
+  adapt.UpdateExpectedThroughput(0, 6e6);  // Past hysteresis: applied.
+  EXPECT_TRUE(adapt.IsLowRate(0));
+}
+
+TEST_F(CodelAdaptationTest, HysteresisAppliesInBothDirections) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 6e6);
+  EXPECT_TRUE(adapt.IsLowRate(0));
+  now_ += 1_s;
+  adapt.UpdateExpectedThroughput(0, 100e6);  // Too soon.
+  EXPECT_TRUE(adapt.IsLowRate(0));
+  now_ += 2_s;
+  adapt.UpdateExpectedThroughput(0, 100e6);
+  EXPECT_FALSE(adapt.IsLowRate(0));
+}
+
+TEST_F(CodelAdaptationTest, StationsAreIndependent) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 6e6);
+  adapt.UpdateExpectedThroughput(1, 100e6);
+  EXPECT_TRUE(adapt.IsLowRate(0));
+  EXPECT_FALSE(adapt.IsLowRate(1));
+}
+
+TEST_F(CodelAdaptationTest, RepeatedSameStateDoesNotResetHysteresisClock) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(0, 100e6);
+  now_ += 1900_ms;
+  adapt.UpdateExpectedThroughput(0, 100e6);  // Same state; no change event.
+  now_ += 200_ms;                            // 2.1 s since the last *change*.
+  adapt.UpdateExpectedThroughput(0, 6e6);
+  EXPECT_TRUE(adapt.IsLowRate(0));
+}
+
+TEST_F(CodelAdaptationTest, NegativeStationIdIgnored) {
+  CodelAdaptation adapt = Make();
+  adapt.UpdateExpectedThroughput(kNoStation, 6e6);
+  EXPECT_FALSE(adapt.IsLowRate(kNoStation));
+}
+
+}  // namespace
+}  // namespace airfair

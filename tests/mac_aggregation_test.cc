@@ -1,0 +1,142 @@
+#include "src/mac/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/mac/airtime.h"
+#include "src/mac/wifi_constants.h"
+#include "tests/test_util.h"
+
+namespace airfair {
+namespace {
+
+AggregationSource SourceFrom(std::deque<PacketPtr>* queue) {
+  AggregationSource source;
+  source.peek_bytes = [queue]() -> int {
+    return queue->empty() ? -1 : queue->front()->size_bytes;
+  };
+  source.pop = [queue]() -> Mpdu {
+    Mpdu m;
+    m.packet = std::move(queue->front());
+    queue->pop_front();
+    return m;
+  };
+  return source;
+}
+
+std::deque<PacketPtr> Packets(int n, int bytes = 1500) {
+  std::deque<PacketPtr> q;
+  for (int i = 0; i < n; ++i) {
+    q.push_back(MakePacket(bytes));
+  }
+  return q;
+}
+
+TEST(Aggregation, EmptySourceGivesEmptyDescriptor) {
+  std::deque<PacketPtr> q;
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SourceFrom(&q));
+  EXPECT_TRUE(tx.empty());
+}
+
+TEST(Aggregation, FrameCountCap) {
+  auto q = Packets(100);
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SourceFrom(&q));
+  EXPECT_EQ(tx.frame_count(), kMaxMpdusPerAmpdu);
+  EXPECT_EQ(static_cast<int>(q.size()), 100 - kMaxMpdusPerAmpdu);
+  EXPECT_TRUE(tx.aggregated);
+}
+
+TEST(Aggregation, DurationCapBindsAtLowRates) {
+  // MCS0: only 2 full-size MPDUs fit in the 4 ms cap.
+  auto q = Packets(100);
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 0, 0, SlowStationRate(), true, SourceFrom(&q));
+  EXPECT_EQ(tx.frame_count(), 2);
+  EXPECT_LE(tx.duration, kMaxAmpduDuration + BlockAckDuration(SlowStationRate()));
+}
+
+TEST(Aggregation, SingleOversizedFrameStillSent) {
+  // Even when one frame alone exceeds the cap (legacy would), at least one
+  // frame must go out so the queue cannot stall. Use a tiny rate via HT for
+  // the aggregated path.
+  PhyRate crawl{0.5e6, /*ht=*/true};
+  auto q = Packets(5);
+  const TxDescriptor tx = BuildAggregate(1, 2, 0, 0, crawl, true, SourceFrom(&q));
+  EXPECT_EQ(tx.frame_count(), 1);
+}
+
+TEST(Aggregation, NonAggregatedPathTakesOnePacket) {
+  auto q = Packets(10);
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 0, kVoiceTid, FastStationRate(), false, SourceFrom(&q));
+  EXPECT_EQ(tx.frame_count(), 1);
+  EXPECT_FALSE(tx.aggregated);
+  EXPECT_EQ(tx.ac, AccessCategory::kVoice);
+  EXPECT_EQ(q.size(), 9u);
+}
+
+TEST(Aggregation, DescriptorFieldsFilled) {
+  auto q = Packets(3);
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 7, 0, FastStationRate(), true, SourceFrom(&q));
+  EXPECT_EQ(tx.src_node, 1u);
+  EXPECT_EQ(tx.dst_node, 2u);
+  EXPECT_EQ(tx.station, 7);
+  EXPECT_EQ(tx.tid, 0);
+  EXPECT_EQ(tx.ac, AccessCategory::kBestEffort);
+  EXPECT_GT(tx.duration, TimeUs::Zero());
+  EXPECT_EQ(tx.payload_bytes(), 3 * 1500);
+}
+
+TEST(Aggregation, DurationGrowsWithFrames) {
+  auto q1 = Packets(1);
+  auto q8 = Packets(8);
+  const TxDescriptor tx1 =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SourceFrom(&q1));
+  const TxDescriptor tx8 =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SourceFrom(&q8));
+  EXPECT_GT(tx8.duration, tx1.duration);
+}
+
+TEST(Aggregation, NullPopsAreSkipped) {
+  // A source whose peek promises a packet but whose pop returns null
+  // (CoDel dropped the backlog) must not crash or produce null MPDUs.
+  int peeks_left = 3;
+  AggregationSource source;
+  source.peek_bytes = [&peeks_left]() -> int { return peeks_left-- > 0 ? 1500 : -1; };
+  source.pop = []() -> Mpdu { return Mpdu{}; };
+  const TxDescriptor tx = BuildAggregate(1, 2, 0, 0, FastStationRate(), true, source);
+  EXPECT_TRUE(tx.empty());
+  // And the non-aggregated path:
+  peeks_left = 3;
+  const TxDescriptor single = BuildAggregate(1, 2, 0, 0, FastStationRate(), false, source);
+  EXPECT_TRUE(single.empty());
+}
+
+TEST(Aggregation, AllowedMatrix) {
+  EXPECT_TRUE(AggregationAllowed(AccessCategory::kBestEffort, FastStationRate()));
+  EXPECT_TRUE(AggregationAllowed(AccessCategory::kVideo, FastStationRate()));
+  EXPECT_TRUE(AggregationAllowed(AccessCategory::kBackground, FastStationRate()));
+  // VO is never aggregated (802.11e, and Table 2's VO throughput cost).
+  EXPECT_FALSE(AggregationAllowed(AccessCategory::kVoice, FastStationRate()));
+  // Legacy rates predate aggregation.
+  EXPECT_FALSE(AggregationAllowed(AccessCategory::kBestEffort, OneMbpsRate()));
+}
+
+TEST(Aggregation, MixedSizesRespectDurationCap) {
+  std::deque<PacketPtr> q;
+  for (int i = 0; i < 50; ++i) {
+    q.push_back(MakePacket(i % 2 == 0 ? 1500 : 300));
+  }
+  const TxDescriptor tx =
+      BuildAggregate(1, 2, 0, 0, SlowStationRate(), true, SourceFrom(&q));
+  // Whatever the mix, the data portion must fit 4 ms.
+  EXPECT_LE(tx.duration - BlockAckDuration(SlowStationRate()), kMaxAmpduDuration);
+  EXPECT_GE(tx.frame_count(), 2);
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,229 @@
+// Tests for the two AP queueing backends: the stock Linux path
+// (QdiscBackend) and the paper's MacQueueBackend in both FQ-MAC and
+// airtime-fair modes.
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/fifo.h"
+#include "src/core/mac_queue_backend.h"
+#include "src/mac/qdisc_backend.h"
+#include "src/mac/station_table.h"
+#include "tests/test_util.h"
+
+namespace airfair {
+namespace {
+
+using namespace time_literals;
+
+class BackendTest : public ::testing::Test {
+ protected:
+  BackendTest() {
+    fast_ = table_.Add({2, FastStationRate(), "fast"});
+    slow_ = table_.Add({3, SlowStationRate(), "slow"});
+  }
+
+  PacketPtr For(StationId station, int bytes = 1500, Tid tid = 0,
+                uint16_t src_port = 1000) {
+    auto p = MakePacket(bytes, src_port, 2000, table_.Get(station).node_id);
+    p->tid = tid;
+    return p;
+  }
+
+  Simulation sim_{5};
+  StationTable table_;
+  StationId fast_;
+  StationId slow_;
+};
+
+TEST_F(BackendTest, QdiscBackendBuildsAggregatesPerStation) {
+  QdiscBackend backend(std::make_unique<FifoQdisc>(1000), &table_, 1);
+  for (int i = 0; i < 40; ++i) {
+    backend.Enqueue(For(fast_), fast_);
+  }
+  ASSERT_TRUE(backend.HasPending(AccessCategory::kBestEffort));
+  TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  EXPECT_EQ(tx.station, fast_);
+  EXPECT_EQ(tx.frame_count(), 32);  // Budget-limited only by the frame cap.
+  EXPECT_EQ(tx.dst_node, 2u);
+}
+
+TEST_F(BackendTest, QdiscBackendRoundRobinsAcrossTids) {
+  QdiscBackend backend(std::make_unique<FifoQdisc>(1000), &table_, 1);
+  for (int i = 0; i < 10; ++i) {
+    backend.Enqueue(For(fast_), fast_);
+    backend.Enqueue(For(slow_), slow_);
+  }
+  const TxDescriptor a = backend.BuildNext(AccessCategory::kBestEffort);
+  const TxDescriptor b = backend.BuildNext(AccessCategory::kBestEffort);
+  EXPECT_NE(a.station, b.station);
+}
+
+TEST_F(BackendTest, QdiscBackendDriverBudgetLimitsPull) {
+  QdiscBackend::Config config;
+  config.driver_budget_packets = 16;
+  QdiscBackend backend(std::make_unique<FifoQdisc>(1000), &table_, 1, config);
+  for (int i = 0; i < 100; ++i) {
+    backend.Enqueue(For(fast_), fast_);
+  }
+  EXPECT_EQ(backend.driver_packets(), 16);
+  EXPECT_EQ(backend.qdisc().packet_count(), 84);
+  // A slow-station hog: its packets fill the driver and starve the fast TID
+  // (the lock-out mechanism of Section 4.1.2).
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  EXPECT_LE(tx.frame_count(), 16);
+}
+
+TEST_F(BackendTest, QdiscBackendRetryHasPriority) {
+  QdiscBackend backend(std::make_unique<FifoQdisc>(1000), &table_, 1);
+  backend.Enqueue(For(fast_), fast_);
+  Mpdu retry;
+  retry.packet = For(fast_);
+  retry.packet->flow_seq = 99;
+  retry.retries = 1;
+  backend.Requeue(fast_, 0, std::move(retry));
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  ASSERT_GE(tx.frame_count(), 1);
+  EXPECT_EQ(tx.mpdus.front().packet->flow_seq, 99);
+}
+
+TEST_F(BackendTest, QdiscBackendCountsUnroutablePackets) {
+  QdiscBackend backend(std::make_unique<FifoQdisc>(1000), &table_, 1);
+  auto stray = MakePacket(1500, 1000, 2000, /*dst_node=*/77);
+  backend.Enqueue(std::move(stray), fast_);
+  (void)backend.HasPending(AccessCategory::kBestEffort);
+  EXPECT_EQ(backend.drops(), 1);
+}
+
+MacQueueBackend::Config FqMacConfig() {
+  MacQueueBackend::Config config;
+  config.airtime_fairness = false;
+  return config;
+}
+
+MacQueueBackend::Config AirtimeConfig() {
+  MacQueueBackend::Config config;
+  config.airtime_fairness = true;
+  return config;
+}
+
+TEST_F(BackendTest, MacBackendBuildsAggregates) {
+  MacQueueBackend backend(&sim_, &table_, 1, FqMacConfig());
+  for (int i = 0; i < 40; ++i) {
+    backend.Enqueue(For(fast_), fast_);
+  }
+  EXPECT_TRUE(backend.HasPending(AccessCategory::kBestEffort));
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  EXPECT_EQ(tx.frame_count(), 32);
+  EXPECT_EQ(backend.packet_count(), 8);
+}
+
+TEST_F(BackendTest, MacBackendSlowStationDurationLimited) {
+  MacQueueBackend backend(&sim_, &table_, 1, FqMacConfig());
+  for (int i = 0; i < 40; ++i) {
+    backend.Enqueue(For(slow_), slow_);
+  }
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  EXPECT_EQ(tx.frame_count(), 2);  // 4 ms TXOP cap at MCS0.
+}
+
+TEST_F(BackendTest, MacBackendVoiceNotAggregated) {
+  MacQueueBackend backend(&sim_, &table_, 1, FqMacConfig());
+  for (int i = 0; i < 10; ++i) {
+    backend.Enqueue(For(fast_, 200, kVoiceTid), fast_);
+  }
+  EXPECT_TRUE(backend.HasPending(AccessCategory::kVoice));
+  EXPECT_FALSE(backend.HasPending(AccessCategory::kBestEffort));
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kVoice);
+  EXPECT_EQ(tx.frame_count(), 1);
+  EXPECT_FALSE(tx.aggregated);
+}
+
+TEST_F(BackendTest, MacBackendAirtimeModeEqualisesAirtime) {
+  MacQueueBackend backend(&sim_, &table_, 1, AirtimeConfig());
+  // Saturate both stations, then simulate the TX loop: build, "transmit"
+  // (charge the computed duration), repeat.
+  TimeUs airtime_fast;
+  TimeUs airtime_slow;
+  for (int round = 0; round < 400; ++round) {
+    backend.Enqueue(For(fast_), fast_);
+    backend.Enqueue(For(fast_), fast_);
+    backend.Enqueue(For(slow_), slow_);
+    backend.Enqueue(For(slow_), slow_);
+    TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+    if (tx.empty()) {
+      continue;
+    }
+    backend.AccountTxAirtime(tx.station, tx.ac, tx.duration);
+    (tx.station == fast_ ? airtime_fast : airtime_slow) += tx.duration;
+  }
+  const double total = (airtime_fast + airtime_slow).ToSeconds();
+  EXPECT_GT(total, 0);
+  EXPECT_NEAR(airtime_fast.ToSeconds() / total, 0.5, 0.1);
+}
+
+TEST_F(BackendTest, MacBackendRoundRobinModeEqualisesTxops) {
+  MacQueueBackend backend(&sim_, &table_, 1, FqMacConfig());
+  int txops_fast = 0;
+  int txops_slow = 0;
+  for (int round = 0; round < 400; ++round) {
+    backend.Enqueue(For(fast_), fast_);
+    backend.Enqueue(For(slow_), slow_);
+    TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+    if (tx.empty()) {
+      continue;
+    }
+    (tx.station == fast_ ? txops_fast : txops_slow)++;
+  }
+  EXPECT_NEAR(static_cast<double>(txops_fast) / txops_slow, 1.0, 0.25);
+}
+
+TEST_F(BackendTest, MacBackendRetryPriority) {
+  MacQueueBackend backend(&sim_, &table_, 1, FqMacConfig());
+  backend.Enqueue(For(fast_), fast_);
+  Mpdu retry;
+  retry.packet = For(fast_);
+  retry.packet->flow_seq = 42;
+  backend.Requeue(fast_, 0, std::move(retry));
+  const TxDescriptor tx = backend.BuildNext(AccessCategory::kBestEffort);
+  ASSERT_GE(tx.frame_count(), 1);
+  EXPECT_EQ(tx.mpdus.front().packet->flow_seq, 42);
+}
+
+TEST_F(BackendTest, MacBackendAdaptsCodelForSlowStation) {
+  MacQueueBackend backend(&sim_, &table_, 1, AirtimeConfig());
+  backend.Enqueue(For(slow_), slow_);
+  backend.Enqueue(For(fast_), fast_);
+  // 7.2 Mbit/s * 0.8 efficiency < 12 Mbit/s threshold -> low-rate profile.
+  EXPECT_TRUE(backend.adaptation().IsLowRate(slow_));
+  EXPECT_FALSE(backend.adaptation().IsLowRate(fast_));
+}
+
+TEST_F(BackendTest, MacBackendCodelAdaptationCanBeDisabled) {
+  MacQueueBackend::Config config = AirtimeConfig();
+  config.codel_adaptation = false;
+  MacQueueBackend backend(&sim_, &table_, 1, config);
+  backend.Enqueue(For(slow_), slow_);
+  // The adaptation module still tracks, but the queues ignore it; observable
+  // contract: construction and enqueue work with the provider unset.
+  EXPECT_EQ(backend.packet_count(), 1);
+}
+
+TEST_F(BackendTest, MacBackendRxAccountingAblation) {
+  MacQueueBackend::Config config = AirtimeConfig();
+  config.rx_airtime_accounting = false;
+  MacQueueBackend backend(&sim_, &table_, 1, config);
+  backend.AccountRxAirtime(fast_, AccessCategory::kBestEffort, 10_ms);
+  EXPECT_EQ(backend.scheduler().DeficitUs(fast_, AccessCategory::kBestEffort), 0);
+  MacQueueBackend enabled(&sim_, &table_, 1, AirtimeConfig());
+  enabled.AccountRxAirtime(fast_, AccessCategory::kBestEffort, 10_ms);
+  EXPECT_EQ(enabled.scheduler().DeficitUs(fast_, AccessCategory::kBestEffort), -10000);
+}
+
+TEST_F(BackendTest, MacBackendEmptyBuildIsEmpty) {
+  MacQueueBackend backend(&sim_, &table_, 1, AirtimeConfig());
+  EXPECT_FALSE(backend.HasPending(AccessCategory::kBestEffort));
+  EXPECT_TRUE(backend.BuildNext(AccessCategory::kBestEffort).empty());
+}
+
+}  // namespace
+}  // namespace airfair

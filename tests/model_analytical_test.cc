@@ -1,0 +1,101 @@
+#include "src/model/analytical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mac/phy_rate.h"
+
+namespace airfair {
+namespace {
+
+// The paper's Table 1: the three-station testbed (two fast at MCS15, one
+// slow at MCS0) with the measured mean aggregation sizes as input.
+
+std::vector<ModelStation> FifoRows() {
+  return {{4.47, 1500, FastStationRate()},
+          {5.08, 1500, FastStationRate()},
+          {1.89, 1500, SlowStationRate()}};
+}
+
+std::vector<ModelStation> AirtimeRows() {
+  return {{18.44, 1500, FastStationRate()},
+          {18.52, 1500, FastStationRate()},
+          {1.89, 1500, SlowStationRate()}};
+}
+
+TEST(AnalyticalModel, Table1BaselineAirtimeShares) {
+  const auto results = PredictStations(FifoRows(), /*airtime_fairness=*/false);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_NEAR(results[0].airtime_share, 0.10, 0.01);
+  EXPECT_NEAR(results[1].airtime_share, 0.11, 0.01);
+  EXPECT_NEAR(results[2].airtime_share, 0.79, 0.01);
+}
+
+TEST(AnalyticalModel, Table1BaselineRates) {
+  const auto results = PredictStations(FifoRows(), /*airtime_fairness=*/false);
+  EXPECT_NEAR(results[0].rate_mbps, 9.7, 0.2);
+  EXPECT_NEAR(results[1].rate_mbps, 11.4, 0.2);
+  EXPECT_NEAR(results[2].rate_mbps, 5.1, 0.2);
+  EXPECT_NEAR(TotalRateMbps(results), 26.4, 0.5);
+}
+
+TEST(AnalyticalModel, Table1FairnessShares) {
+  const auto results = PredictStations(AirtimeRows(), /*airtime_fairness=*/true);
+  for (const auto& r : results) {
+    EXPECT_NEAR(r.airtime_share, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(AnalyticalModel, Table1FairnessRates) {
+  const auto results = PredictStations(AirtimeRows(), /*airtime_fairness=*/true);
+  EXPECT_NEAR(results[0].rate_mbps, 42.2, 0.5);
+  EXPECT_NEAR(results[1].rate_mbps, 42.3, 0.5);
+  EXPECT_NEAR(results[2].rate_mbps, 2.2, 0.1);
+  EXPECT_NEAR(TotalRateMbps(results), 86.8, 1.0);
+}
+
+TEST(AnalyticalModel, FairnessGivesFactorFiveGain) {
+  // The paper's headline: eliminating the anomaly raises total throughput
+  // up to a factor of five (26.4 -> 86.8 predicted).
+  const double baseline = TotalRateMbps(PredictStations(FifoRows(), false));
+  const double fair = TotalRateMbps(PredictStations(AirtimeRows(), true));
+  EXPECT_GT(fair / baseline, 3.0);
+  EXPECT_LT(fair / baseline, 5.0);
+}
+
+TEST(AnalyticalModel, SharesSumToOne) {
+  for (bool fairness : {false, true}) {
+    const auto results = PredictStations(AirtimeRows(), fairness);
+    double total = 0;
+    for (const auto& r : results) {
+      total += r.airtime_share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(AnalyticalModel, SingleStationGetsEverything) {
+  const std::vector<ModelStation> one = {{10, 1500, FastStationRate()}};
+  for (bool fairness : {false, true}) {
+    const auto results = PredictStations(one, fairness);
+    EXPECT_DOUBLE_EQ(results[0].airtime_share, 1.0);
+    EXPECT_DOUBLE_EQ(results[0].rate_mbps, results[0].base_rate_mbps);
+  }
+}
+
+TEST(AnalyticalModel, FairnessHelpsFastHurtsSlow) {
+  const auto anomaly = PredictStations(AirtimeRows(), false);
+  const auto fair = PredictStations(AirtimeRows(), true);
+  EXPECT_GT(fair[0].rate_mbps, anomaly[0].rate_mbps);
+  EXPECT_LT(fair[2].rate_mbps, anomaly[2].rate_mbps);
+}
+
+TEST(AnalyticalModel, BiggerAggregatesRaiseBaselineRate) {
+  const double small = BaselineRateMbps({2, 1500, FastStationRate()});
+  const double large = BaselineRateMbps({32, 1500, FastStationRate()});
+  EXPECT_GT(large, small * 1.5);
+  // And the asymptote is the PHY rate.
+  EXPECT_LT(large, 144.4);
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,136 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace airfair {
+namespace {
+
+using namespace time_literals;
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30_us, [&] { order.push_back(3); });
+  loop.ScheduleAt(10_us, [&] { order.push_back(1); });
+  loop.ScheduleAt(20_us, [&] { order.push_back(2); });
+  loop.RunUntil(100_us);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 100_us);
+}
+
+TEST(EventLoop, SameTimeEventsRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(5_us, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntil(10_us);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  TimeUs seen;
+  loop.ScheduleAt(42_us, [&] { seen = loop.now(); });
+  loop.RunUntil(100_us);
+  EXPECT_EQ(seen, 42_us);
+}
+
+TEST(EventLoop, EventsBeyondEndStayPending) {
+  EventLoop loop;
+  bool ran = false;
+  loop.ScheduleAt(200_us, [&] { ran = true; });
+  loop.RunUntil(100_us);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.RunUntil(300_us);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventHandle h = loop.ScheduleAt(10_us, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  loop.RunUntil(100_us);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, HandleReportsFiredAsNotPending) {
+  EventLoop loop;
+  EventHandle h = loop.ScheduleAt(10_us, [] {});
+  loop.RunUntil(100_us);
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // Harmless after firing.
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  std::vector<int64_t> times;
+  std::function<void()> tick = [&] {
+    times.push_back(loop.now().us());
+    if (times.size() < 3) {
+      loop.ScheduleAfter(10_us, tick);
+    }
+  };
+  loop.ScheduleAt(0_us, tick);
+  loop.RunUntil(1_ms);
+  EXPECT_EQ(times, (std::vector<int64_t>{0, 10, 20}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  TimeUs fired;
+  loop.ScheduleAt(50_us, [&] {
+    loop.ScheduleAfter(25_us, [&] { fired = loop.now(); });
+  });
+  loop.RunUntil(1_ms);
+  EXPECT_EQ(fired, 75_us);
+}
+
+TEST(EventLoop, RunOneExecutesSingleEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(1_us, [&] { ++count; });
+  loop.ScheduleAt(2_us, [&] { ++count; });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoop, RunOneSkipsCancelled) {
+  EventLoop loop;
+  bool ran = false;
+  EventHandle h = loop.ScheduleAt(1_us, [] {});
+  loop.ScheduleAt(2_us, [&] { ran = true; });
+  h.Cancel();
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, RunForAdvancesRelativeToNow) {
+  Simulation sim(1);
+  sim.RunFor(5_ms);
+  EXPECT_EQ(sim.now(), 5_ms);
+  sim.RunFor(5_ms);
+  EXPECT_EQ(sim.now(), 10_ms);
+}
+
+TEST(Simulation, SeedControlsRngStream) {
+  Simulation a(42);
+  Simulation b(42);
+  EXPECT_EQ(a.rng().Next(), b.rng().Next());
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,153 @@
+#include "src/util/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace airfair {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode node;
+  ListNode other_node;
+};
+
+using ItemList = IntrusiveList<Item, &Item::node>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.Back(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackPreservesFifoOrder) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFront) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+}
+
+TEST(IntrusiveList, LinkedStateTracksMembership) {
+  ItemList list;
+  Item a(1);
+  EXPECT_FALSE(a.node.linked());
+  list.PushBack(&a);
+  EXPECT_TRUE(a.node.linked());
+  a.node.Unlink();
+  EXPECT_FALSE(a.node.linked());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, UnlinkFromMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  b.node.Unlink();
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveList, MoveToBackImplementsListMove) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.MoveToBack(&a);  // Like the rotation in Algorithm 2 / 3.
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+}
+
+TEST(IntrusiveList, MoveToBackAcrossLists) {
+  ItemList new_list;
+  ItemList old_list;
+  Item a(1);
+  new_list.PushBack(&a);
+  old_list.MoveToBack(&a);  // new -> old transition.
+  EXPECT_TRUE(new_list.empty());
+  EXPECT_EQ(old_list.Front(), &a);
+}
+
+TEST(IntrusiveList, IsFront) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  EXPECT_TRUE(list.IsFront(&a));
+  EXPECT_FALSE(list.IsFront(&b));
+}
+
+TEST(IntrusiveList, DestructorOfNodeUnlinksItself) {
+  ItemList list;
+  {
+    Item a(1);
+    list.PushBack(&a);
+    EXPECT_FALSE(list.empty());
+  }
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, ClearDetachesAll) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.node.linked());
+  EXPECT_FALSE(b.node.linked());
+}
+
+TEST(IntrusiveList, TwoMembershipsViaDistinctNodes) {
+  IntrusiveList<Item, &Item::node> list1;
+  IntrusiveList<Item, &Item::other_node> list2;
+  Item a(1);
+  list1.PushBack(&a);
+  list2.PushBack(&a);
+  EXPECT_TRUE(a.node.linked());
+  EXPECT_TRUE(a.other_node.linked());
+  EXPECT_EQ(list1.Front(), &a);
+  EXPECT_EQ(list2.Front(), &a);
+  a.node.Unlink();
+  EXPECT_TRUE(list1.empty());
+  EXPECT_EQ(list2.Front(), &a);
+}
+
+TEST(IntrusiveList, Iteration) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  std::vector<int> seen;
+  for (Item* item : list) {
+    seen.push_back(item->value);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,177 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace airfair {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, HandlesNegativeValues) {
+  RunningStats s;
+  s.Add(-10.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(SampleSet, QuantilesOfKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(SampleSet, QuantileEmptyIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSet, QuantileClampsArgument) {
+  SampleSet s;
+  s.Add(3.0);
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), 7.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsAreMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) {
+    s.Add(static_cast<double>((i * 37) % 17));
+  }
+  const auto points = s.CdfPoints(10);
+  ASSERT_EQ(points.size(), 10u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GT(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(SampleSet, MeanMatches) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSet, AddTimeUsesMilliseconds) {
+  SampleSet s;
+  s.AddTime(TimeUs::FromMilliseconds(250));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 250.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 5.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  s.Add(9.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 5.0);
+}
+
+TEST(Jain, PerfectFairnessIsOne) {
+  const std::array<double, 4> shares = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(shares), 1.0);
+}
+
+TEST(Jain, TotalUnfairnessIsOneOverN) {
+  const std::array<double, 4> shares = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(shares), 0.25);
+}
+
+TEST(Jain, ScaleInvariant) {
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  const std::array<double, 3> b = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(a), JainFairnessIndex(b));
+}
+
+TEST(Jain, EmptyAndZeroInputsAreFair) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(std::span<const double>()), 1.0);
+  const std::array<double, 3> zeros = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(zeros), 1.0);
+}
+
+TEST(Jain, PaperAnomalyExample) {
+  // FIFO airtime shares from Table 1: roughly 10/11/79 percent.
+  const std::array<double, 3> shares = {0.10, 0.11, 0.79};
+  const double j = JainFairnessIndex(shares);
+  EXPECT_LT(j, 0.6);
+  EXPECT_GT(j, 0.33);
+}
+
+TEST(ThroughputMeter, ComputesMbps) {
+  ThroughputMeter m;
+  m.AddBytes(1250000);  // 10 Mbit.
+  EXPECT_DOUBLE_EQ(m.Mbps(TimeUs::Zero(), TimeUs::FromSeconds(1)), 10.0);
+  EXPECT_DOUBLE_EQ(m.Mbps(TimeUs::Zero(), TimeUs::FromSeconds(2)), 5.0);
+}
+
+TEST(ThroughputMeter, ZeroWindowIsZero) {
+  ThroughputMeter m;
+  m.AddBytes(1000);
+  EXPECT_DOUBLE_EQ(m.Mbps(TimeUs::FromSeconds(1), TimeUs::FromSeconds(1)), 0.0);
+}
+
+TEST(MedianOf, OddAndEven) {
+  EXPECT_DOUBLE_EQ(MedianOf({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MedianOf({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(MedianOf({}), 0.0);
+  EXPECT_DOUBLE_EQ(MedianOf({7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace airfair

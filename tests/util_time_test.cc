@@ -1,0 +1,75 @@
+#include "src/util/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace airfair {
+namespace {
+
+using namespace time_literals;
+
+TEST(TimeUs, DefaultIsZero) {
+  TimeUs t;
+  EXPECT_TRUE(t.IsZero());
+  EXPECT_EQ(t.us(), 0);
+}
+
+TEST(TimeUs, Literals) {
+  EXPECT_EQ((5_us).us(), 5);
+  EXPECT_EQ((5_ms).us(), 5000);
+  EXPECT_EQ((5_s).us(), 5000000);
+}
+
+TEST(TimeUs, Conversions) {
+  EXPECT_DOUBLE_EQ(TimeUs::FromSeconds(1.5).us(), 1500000);
+  EXPECT_DOUBLE_EQ(TimeUs::FromMilliseconds(2.5).us(), 2500);
+  EXPECT_DOUBLE_EQ((1500_ms).ToSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).ToMilliseconds(), 1.5);
+}
+
+TEST(TimeUs, Arithmetic) {
+  EXPECT_EQ((3_ms + 4_ms).us(), 7000);
+  EXPECT_EQ((3_ms - 4_ms).us(), -1000);
+  EXPECT_EQ((3_ms * 4).us(), 12000);
+  EXPECT_EQ((4 * 3_ms).us(), 12000);
+  EXPECT_EQ((12_ms / 4).us(), 3000);
+  EXPECT_EQ(12_ms / 3_ms, 4);
+  EXPECT_EQ((-(3_ms)).us(), -3000);
+}
+
+TEST(TimeUs, CompoundAssignment) {
+  TimeUs t = 10_us;
+  t += 5_us;
+  EXPECT_EQ(t.us(), 15);
+  t -= 20_us;
+  EXPECT_EQ(t.us(), -5);
+  EXPECT_TRUE(t.IsNegative());
+}
+
+TEST(TimeUs, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(2_ms, 1_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_LE(1_ms, 1_ms);
+  EXPECT_GE(1_ms, 999_us);
+}
+
+TEST(TimeUs, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(TimeUs::Max(), TimeUs::FromSeconds(1e12));
+}
+
+TEST(TimeUs, StreamOutput) {
+  std::ostringstream os;
+  os << 42_us;
+  EXPECT_EQ(os.str(), "42us");
+}
+
+TEST(TimeUs, NegativeDurationsBehave) {
+  const TimeUs d = 3_us - 10_us;
+  EXPECT_TRUE(d.IsNegative());
+  EXPECT_EQ((d + 7_us).us(), 0);
+}
+
+}  // namespace
+}  // namespace airfair
