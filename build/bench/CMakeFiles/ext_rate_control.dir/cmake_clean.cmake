@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rate_control.dir/ext_rate_control.cc.o"
+  "CMakeFiles/ext_rate_control.dir/ext_rate_control.cc.o.d"
+  "ext_rate_control"
+  "ext_rate_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rate_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_latency_tcp.dir/fig04_latency_tcp.cc.o"
+  "CMakeFiles/fig04_latency_tcp.dir/fig04_latency_tcp.cc.o.d"
+  "fig04_latency_tcp"
+  "fig04_latency_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_latency_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_airtime_udp.dir/fig05_airtime_udp.cc.o"
+  "CMakeFiles/fig05_airtime_udp.dir/fig05_airtime_udp.cc.o.d"
+  "fig05_airtime_udp"
+  "fig05_airtime_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_airtime_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_airtime_udp.
+# This may be replaced when dependencies are built.

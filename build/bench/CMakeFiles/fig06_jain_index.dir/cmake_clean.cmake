@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_jain_index.dir/fig06_jain_index.cc.o"
+  "CMakeFiles/fig06_jain_index.dir/fig06_jain_index.cc.o.d"
+  "fig06_jain_index"
+  "fig06_jain_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_jain_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

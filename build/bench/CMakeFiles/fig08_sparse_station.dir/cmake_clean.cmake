@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sparse_station.dir/fig08_sparse_station.cc.o"
+  "CMakeFiles/fig08_sparse_station.dir/fig08_sparse_station.cc.o.d"
+  "fig08_sparse_station"
+  "fig08_sparse_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sparse_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

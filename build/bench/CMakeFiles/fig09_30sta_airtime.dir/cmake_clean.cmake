@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_30sta_airtime.dir/fig09_30sta_airtime.cc.o"
+  "CMakeFiles/fig09_30sta_airtime.dir/fig09_30sta_airtime.cc.o.d"
+  "fig09_30sta_airtime"
+  "fig09_30sta_airtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_30sta_airtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

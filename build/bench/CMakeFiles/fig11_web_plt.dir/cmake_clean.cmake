@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_web_plt.dir/fig11_web_plt.cc.o"
+  "CMakeFiles/fig11_web_plt.dir/fig11_web_plt.cc.o.d"
+  "fig11_web_plt"
+  "fig11_web_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_web_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_voip_mos.dir/table2_voip_mos.cc.o"
+  "CMakeFiles/table2_voip_mos.dir/table2_voip_mos.cc.o.d"
+  "table2_voip_mos"
+  "table2_voip_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_voip_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_station.dir/sparse_station.cpp.o"
+  "CMakeFiles/sparse_station.dir/sparse_station.cpp.o.d"
+  "sparse_station"
+  "sparse_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/emodel.cc" "src/apps/CMakeFiles/airfair_apps.dir/emodel.cc.o" "gcc" "src/apps/CMakeFiles/airfair_apps.dir/emodel.cc.o.d"
+  "/root/repo/src/apps/voip.cc" "src/apps/CMakeFiles/airfair_apps.dir/voip.cc.o" "gcc" "src/apps/CMakeFiles/airfair_apps.dir/voip.cc.o.d"
+  "/root/repo/src/apps/web.cc" "src/apps/CMakeFiles/airfair_apps.dir/web.cc.o" "gcc" "src/apps/CMakeFiles/airfair_apps.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/airfair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

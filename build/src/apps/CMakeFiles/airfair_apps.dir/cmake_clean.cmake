@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_apps.dir/emodel.cc.o"
+  "CMakeFiles/airfair_apps.dir/emodel.cc.o.d"
+  "CMakeFiles/airfair_apps.dir/voip.cc.o"
+  "CMakeFiles/airfair_apps.dir/voip.cc.o.d"
+  "CMakeFiles/airfair_apps.dir/web.cc.o"
+  "CMakeFiles/airfair_apps.dir/web.cc.o.d"
+  "libairfair_apps.a"
+  "libairfair_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libairfair_apps.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqm/codel.cc" "src/aqm/CMakeFiles/airfair_aqm.dir/codel.cc.o" "gcc" "src/aqm/CMakeFiles/airfair_aqm.dir/codel.cc.o.d"
+  "/root/repo/src/aqm/fq_codel.cc" "src/aqm/CMakeFiles/airfair_aqm.dir/fq_codel.cc.o" "gcc" "src/aqm/CMakeFiles/airfair_aqm.dir/fq_codel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/airfair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

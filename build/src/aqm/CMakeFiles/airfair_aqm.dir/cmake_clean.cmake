@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_aqm.dir/codel.cc.o"
+  "CMakeFiles/airfair_aqm.dir/codel.cc.o.d"
+  "CMakeFiles/airfair_aqm.dir/fq_codel.cc.o"
+  "CMakeFiles/airfair_aqm.dir/fq_codel.cc.o.d"
+  "libairfair_aqm.a"
+  "libairfair_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/airtime_scheduler.cc" "src/core/CMakeFiles/airfair_core.dir/airtime_scheduler.cc.o" "gcc" "src/core/CMakeFiles/airfair_core.dir/airtime_scheduler.cc.o.d"
+  "/root/repo/src/core/codel_adaptation.cc" "src/core/CMakeFiles/airfair_core.dir/codel_adaptation.cc.o" "gcc" "src/core/CMakeFiles/airfair_core.dir/codel_adaptation.cc.o.d"
+  "/root/repo/src/core/mac_queue_backend.cc" "src/core/CMakeFiles/airfair_core.dir/mac_queue_backend.cc.o" "gcc" "src/core/CMakeFiles/airfair_core.dir/mac_queue_backend.cc.o.d"
+  "/root/repo/src/core/mac_queues.cc" "src/core/CMakeFiles/airfair_core.dir/mac_queues.cc.o" "gcc" "src/core/CMakeFiles/airfair_core.dir/mac_queues.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/airfair_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/airfair_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/airfair_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_core.dir/airtime_scheduler.cc.o"
+  "CMakeFiles/airfair_core.dir/airtime_scheduler.cc.o.d"
+  "CMakeFiles/airfair_core.dir/codel_adaptation.cc.o"
+  "CMakeFiles/airfair_core.dir/codel_adaptation.cc.o.d"
+  "CMakeFiles/airfair_core.dir/mac_queue_backend.cc.o"
+  "CMakeFiles/airfair_core.dir/mac_queue_backend.cc.o.d"
+  "CMakeFiles/airfair_core.dir/mac_queues.cc.o"
+  "CMakeFiles/airfair_core.dir/mac_queues.cc.o.d"
+  "libairfair_core.a"
+  "libairfair_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/access_point.cc" "src/mac/CMakeFiles/airfair_mac.dir/access_point.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/access_point.cc.o.d"
+  "/root/repo/src/mac/aggregation.cc" "src/mac/CMakeFiles/airfair_mac.dir/aggregation.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/aggregation.cc.o.d"
+  "/root/repo/src/mac/airtime.cc" "src/mac/CMakeFiles/airfair_mac.dir/airtime.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/airtime.cc.o.d"
+  "/root/repo/src/mac/channel_model.cc" "src/mac/CMakeFiles/airfair_mac.dir/channel_model.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/channel_model.cc.o.d"
+  "/root/repo/src/mac/medium.cc" "src/mac/CMakeFiles/airfair_mac.dir/medium.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/medium.cc.o.d"
+  "/root/repo/src/mac/phy_rate.cc" "src/mac/CMakeFiles/airfair_mac.dir/phy_rate.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/phy_rate.cc.o.d"
+  "/root/repo/src/mac/qdisc_backend.cc" "src/mac/CMakeFiles/airfair_mac.dir/qdisc_backend.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/qdisc_backend.cc.o.d"
+  "/root/repo/src/mac/rate_control.cc" "src/mac/CMakeFiles/airfair_mac.dir/rate_control.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/rate_control.cc.o.d"
+  "/root/repo/src/mac/reorder.cc" "src/mac/CMakeFiles/airfair_mac.dir/reorder.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/reorder.cc.o.d"
+  "/root/repo/src/mac/station.cc" "src/mac/CMakeFiles/airfair_mac.dir/station.cc.o" "gcc" "src/mac/CMakeFiles/airfair_mac.dir/station.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqm/CMakeFiles/airfair_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/airfair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

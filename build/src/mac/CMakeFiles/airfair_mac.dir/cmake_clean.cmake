@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_mac.dir/access_point.cc.o"
+  "CMakeFiles/airfair_mac.dir/access_point.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/aggregation.cc.o"
+  "CMakeFiles/airfair_mac.dir/aggregation.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/airtime.cc.o"
+  "CMakeFiles/airfair_mac.dir/airtime.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/channel_model.cc.o"
+  "CMakeFiles/airfair_mac.dir/channel_model.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/medium.cc.o"
+  "CMakeFiles/airfair_mac.dir/medium.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/phy_rate.cc.o"
+  "CMakeFiles/airfair_mac.dir/phy_rate.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/qdisc_backend.cc.o"
+  "CMakeFiles/airfair_mac.dir/qdisc_backend.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/rate_control.cc.o"
+  "CMakeFiles/airfair_mac.dir/rate_control.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/reorder.cc.o"
+  "CMakeFiles/airfair_mac.dir/reorder.cc.o.d"
+  "CMakeFiles/airfair_mac.dir/station.cc.o"
+  "CMakeFiles/airfair_mac.dir/station.cc.o.d"
+  "libairfair_mac.a"
+  "libairfair_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_model.dir/analytical.cc.o"
+  "CMakeFiles/airfair_model.dir/analytical.cc.o.d"
+  "libairfair_model.a"
+  "libairfair_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/airfair_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/airfair_net.dir/host.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/airfair_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/airfair_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/airfair_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/airfair_net.dir/udp.cc.o.d"
+  "/root/repo/src/net/wired_link.cc" "src/net/CMakeFiles/airfair_net.dir/wired_link.cc.o" "gcc" "src/net/CMakeFiles/airfair_net.dir/wired_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

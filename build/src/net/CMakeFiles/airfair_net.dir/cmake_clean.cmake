@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_net.dir/host.cc.o"
+  "CMakeFiles/airfair_net.dir/host.cc.o.d"
+  "CMakeFiles/airfair_net.dir/tcp.cc.o"
+  "CMakeFiles/airfair_net.dir/tcp.cc.o.d"
+  "CMakeFiles/airfair_net.dir/udp.cc.o"
+  "CMakeFiles/airfair_net.dir/udp.cc.o.d"
+  "CMakeFiles/airfair_net.dir/wired_link.cc.o"
+  "CMakeFiles/airfair_net.dir/wired_link.cc.o.d"
+  "libairfair_net.a"
+  "libairfair_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

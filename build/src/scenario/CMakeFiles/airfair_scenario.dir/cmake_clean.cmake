@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_scenario.dir/experiments.cc.o"
+  "CMakeFiles/airfair_scenario.dir/experiments.cc.o.d"
+  "CMakeFiles/airfair_scenario.dir/testbed.cc.o"
+  "CMakeFiles/airfair_scenario.dir/testbed.cc.o.d"
+  "libairfair_scenario.a"
+  "libairfair_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

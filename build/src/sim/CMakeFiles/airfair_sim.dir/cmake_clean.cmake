@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_sim.dir/event_loop.cc.o"
+  "CMakeFiles/airfair_sim.dir/event_loop.cc.o.d"
+  "libairfair_sim.a"
+  "libairfair_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

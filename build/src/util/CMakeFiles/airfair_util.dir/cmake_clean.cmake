@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfair_util.dir/flow_hash.cc.o"
+  "CMakeFiles/airfair_util.dir/flow_hash.cc.o.d"
+  "CMakeFiles/airfair_util.dir/logging.cc.o"
+  "CMakeFiles/airfair_util.dir/logging.cc.o.d"
+  "CMakeFiles/airfair_util.dir/rng.cc.o"
+  "CMakeFiles/airfair_util.dir/rng.cc.o.d"
+  "CMakeFiles/airfair_util.dir/stats.cc.o"
+  "CMakeFiles/airfair_util.dir/stats.cc.o.d"
+  "libairfair_util.a"
+  "libairfair_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfair_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_codel_test.dir/aqm_codel_test.cc.o"
+  "CMakeFiles/aqm_codel_test.dir/aqm_codel_test.cc.o.d"
+  "aqm_codel_test"
+  "aqm_codel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_codel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_fifo_fq_codel_test.dir/aqm_fifo_fq_codel_test.cc.o"
+  "CMakeFiles/aqm_fifo_fq_codel_test.dir/aqm_fifo_fq_codel_test.cc.o.d"
+  "aqm_fifo_fq_codel_test"
+  "aqm_fifo_fq_codel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_fifo_fq_codel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

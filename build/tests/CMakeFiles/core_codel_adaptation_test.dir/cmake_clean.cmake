@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_codel_adaptation_test.dir/core_codel_adaptation_test.cc.o"
+  "CMakeFiles/core_codel_adaptation_test.dir/core_codel_adaptation_test.cc.o.d"
+  "core_codel_adaptation_test"
+  "core_codel_adaptation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_codel_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

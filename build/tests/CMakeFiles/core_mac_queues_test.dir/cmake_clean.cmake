@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mac_queues_test.dir/core_mac_queues_test.cc.o"
+  "CMakeFiles/core_mac_queues_test.dir/core_mac_queues_test.cc.o.d"
+  "core_mac_queues_test"
+  "core_mac_queues_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mac_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_aggregation_test.dir/mac_aggregation_test.cc.o"
+  "CMakeFiles/mac_aggregation_test.dir/mac_aggregation_test.cc.o.d"
+  "mac_aggregation_test"
+  "mac_aggregation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_airtime_test.dir/mac_airtime_test.cc.o"
+  "CMakeFiles/mac_airtime_test.dir/mac_airtime_test.cc.o.d"
+  "mac_airtime_test"
+  "mac_airtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_airtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_medium_test.dir/mac_medium_test.cc.o"
+  "CMakeFiles/mac_medium_test.dir/mac_medium_test.cc.o.d"
+  "mac_medium_test"
+  "mac_medium_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_rate_control_test.dir/mac_rate_control_test.cc.o"
+  "CMakeFiles/mac_rate_control_test.dir/mac_rate_control_test.cc.o.d"
+  "mac_rate_control_test"
+  "mac_rate_control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_rate_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_reorder_test.dir/mac_reorder_test.cc.o"
+  "CMakeFiles/mac_reorder_test.dir/mac_reorder_test.cc.o.d"
+  "mac_reorder_test"
+  "mac_reorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_analytical_test.dir/model_analytical_test.cc.o"
+  "CMakeFiles/model_analytical_test.dir/model_analytical_test.cc.o.d"
+  "model_analytical_test"
+  "model_analytical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_analytical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_host_link_test.dir/net_host_link_test.cc.o"
+  "CMakeFiles/net_host_link_test.dir/net_host_link_test.cc.o.d"
+  "net_host_link_test"
+  "net_host_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_host_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_tcp_test.cc" "tests/CMakeFiles/net_tcp_test.dir/net_tcp_test.cc.o" "gcc" "tests/CMakeFiles/net_tcp_test.dir/net_tcp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/airfair_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/airfair_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/airfair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/airfair_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/airfair_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/airfair_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/airfair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airfair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/airfair_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_testbed_test.dir/scenario_testbed_test.cc.o"
+  "CMakeFiles/scenario_testbed_test.dir/scenario_testbed_test.cc.o.d"
+  "scenario_testbed_test"
+  "scenario_testbed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

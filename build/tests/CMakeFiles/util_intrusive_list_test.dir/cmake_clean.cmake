@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_intrusive_list_test.dir/util_intrusive_list_test.cc.o"
+  "CMakeFiles/util_intrusive_list_test.dir/util_intrusive_list_test.cc.o.d"
+  "util_intrusive_list_test"
+  "util_intrusive_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_intrusive_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
