@@ -79,6 +79,35 @@ PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullF
   return std::move(r.packet);
 }
 
+int CoDelState::CheckValid(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("codel: " + message);
+  };
+  if (dropping_) {
+    if (drop_next_.IsZero()) {
+      report("in dropping state but the next-drop clock is not armed");
+    }
+    if (count_ < 1) {
+      report("in dropping state with count == 0");
+    }
+    if (count_ < lastcount_) {
+      report("count hysteresis violated: count < lastcount while dropping");
+    }
+  }
+  if (drop_next_.IsNegative()) {
+    report("next-drop clock is negative");
+  }
+  if (first_above_time_.IsNegative()) {
+    report("first-above-time clock is negative");
+  }
+  if (drop_count_ < 0) {
+    report("cumulative drop counter is negative");
+  }
+  return violations;
+}
+
 void CoDelState::Reset() {
   first_above_time_ = TimeUs::Zero();
   drop_next_ = TimeUs::Zero();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "src/aqm/queue_discipline.h"
 #include "src/net/packet.h"
@@ -49,6 +50,25 @@ class CoDelState {
   bool dropping() const { return dropping_; }
 
   void Reset();
+
+  // State-machine validity audit (see src/sim/audit.h). Verifies the
+  // invariants the control law maintains:
+  //  * dropping implies the next-drop clock is armed and count >= 1;
+  //  * the RFC 8289 count hysteresis keeps count >= lastcount while in the
+  //    dropping state;
+  //  * the cumulative drop counter never runs behind the in-state count.
+  // Calls `fail` once per violation; returns the number found.
+  int CheckValid(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only: forces raw controller state so the auditor's detection of an
+  // invalid state machine can itself be tested.
+  void ForceStateForTesting(bool dropping, TimeUs drop_next, uint32_t count,
+                            uint32_t lastcount) {
+    dropping_ = dropping;
+    drop_next_ = drop_next;
+    count_ = count;
+    lastcount_ = lastcount;
+  }
 
  private:
   struct DodequeueResult {

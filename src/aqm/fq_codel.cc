@@ -1,8 +1,10 @@
 #include "src/aqm/fq_codel.h"
 
-#include <cassert>
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/flow_hash.h"
 
 namespace airfair {
@@ -38,6 +40,9 @@ void FqCodelQdisc::Enqueue(PacketPtr packet) {
   const uint64_t h = HashFlow(packet->flow, config_.hash_perturbation);
   FlowQueue& q = queues_[h % queues_.size()];
   packet->enqueued = clock_();
+  AF_DCHECK_GT(packet->size_bytes, 0);
+  max_packet_bytes_seen_ = std::max(max_packet_bytes_seen_, packet->size_bytes);
+  ++enqueued_total_;
   q.bytes += packet->size_bytes;
   q.packets.push_back(std::move(packet));
   ++total_packets_;
@@ -100,9 +105,85 @@ PacketPtr FqCodelQdisc::Dequeue() {
       }
       continue;
     }
+    // The selected queue had a positive deficit no larger than one quantum.
+    AF_DCHECK_GT(q->deficit, 0);
+    AF_DCHECK_LE(q->deficit, config_.quantum_bytes);
     q->deficit -= packet->size_bytes;
+    ++dequeued_total_;
     return packet;
   }
+}
+
+int FqCodelQdisc::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("fq_codel: " + message);
+  };
+  auto subfail = [&](const std::string& message) { report(message); };
+
+  // Conservation: every packet accepted is dequeued, dropped, or resident.
+  const int64_t accounted =
+      dequeued_total_ + codel_drops_ + overflow_drops_ + total_packets_;
+  if (enqueued_total_ != accounted) {
+    std::ostringstream os;
+    os << "packet conservation violated: enqueued=" << enqueued_total_
+       << " != dequeued=" << dequeued_total_ << " + codel_drops=" << codel_drops_
+       << " + overflow_drops=" << overflow_drops_ << " + resident=" << total_packets_;
+    report(os.str());
+  }
+  // The base-class drop counter mirrors the itemised ones.
+  if (drops() != codel_drops_ + overflow_drops_) {
+    std::ostringstream os;
+    os << "drop counter mismatch: drops=" << drops() << " codel=" << codel_drops_
+       << " overflow=" << overflow_drops_;
+    report(os.str());
+  }
+
+  violations += new_flows_.CheckIntegrity(subfail);
+  violations += old_flows_.CheckIntegrity(subfail);
+
+  int64_t resident = 0;
+  for (const FlowQueue& q : queues_) {
+    resident += static_cast<int64_t>(q.packets.size());
+    int64_t bytes = 0;
+    for (const PacketPtr& p : q.packets) {
+      bytes += p->size_bytes;
+    }
+    if (bytes != q.bytes) {
+      std::ostringstream os;
+      os << "queue byte counter mismatch: counted=" << bytes << " stored=" << q.bytes;
+      report(os.str());
+    }
+    // A non-empty queue must be scheduled (empty queues may linger on the
+    // old list until the DRR rotation retires them — that is FQ-CoDel
+    // semantics, not a violation).
+    if (!q.packets.empty() && !q.node.linked()) {
+      report("non-empty flow queue is not on the new/old list");
+    }
+    if (q.node.linked()) {
+      if (q.deficit > config_.quantum_bytes) {
+        std::ostringstream os;
+        os << "flow deficit above quantum: deficit=" << q.deficit
+           << " quantum=" << config_.quantum_bytes;
+        report(os.str());
+      }
+      if (max_packet_bytes_seen_ > 0 && q.deficit <= -max_packet_bytes_seen_) {
+        std::ostringstream os;
+        os << "flow deficit below bound: deficit=" << q.deficit
+           << " max_packet_seen=" << max_packet_bytes_seen_;
+        report(os.str());
+      }
+      violations += q.codel.CheckValid(subfail);
+    }
+  }
+  if (resident != total_packets_) {
+    std::ostringstream os;
+    os << "resident recount mismatch: queues hold " << resident
+       << " packets but total_packets=" << total_packets_;
+    report(os.str());
+  }
+  return violations;
 }
 
 int FqCodelQdisc::active_flows() const {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/aqm/codel.h"
@@ -45,6 +46,20 @@ class FqCodelQdisc : public Qdisc {
   int64_t codel_drops() const { return codel_drops_; }
   int64_t overflow_drops() const { return overflow_drops_; }
 
+  // Lifetime accounting for the conservation audit.
+  int64_t enqueued_total() const { return enqueued_total_; }
+  int64_t dequeued_total() const { return dequeued_total_; }
+
+  // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
+  // violation and returning the violation count: packet conservation,
+  // per-queue byte counters, non-empty queues being scheduled, DRR deficit
+  // bounds, drop-counter consistency, intrusive-list integrity and per-flow
+  // CoDel state validity.
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only corruption hook for tests/sim_audit_test.cc.
+  void CorruptConservationForTesting() { ++enqueued_total_; }
+
  private:
   struct FlowQueue {
     std::deque<PacketPtr> packets;
@@ -66,6 +81,9 @@ class FqCodelQdisc : public Qdisc {
   int total_packets_ = 0;
   int64_t codel_drops_ = 0;
   int64_t overflow_drops_ = 0;
+  int64_t enqueued_total_ = 0;
+  int64_t dequeued_total_ = 0;
+  int32_t max_packet_bytes_seen_ = 0;
 };
 
 }  // namespace airfair

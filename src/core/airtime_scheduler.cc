@@ -1,5 +1,11 @@
 #include "src/core/airtime_scheduler.h"
 
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/util/check.h"
+
 namespace airfair {
 
 AirtimeScheduler::AirtimeScheduler(const Config& config) : config_(config) {}
@@ -8,6 +14,7 @@ AirtimeScheduler::AirtimeScheduler() : AirtimeScheduler(Config()) {}
 
 AirtimeScheduler::StationState& AirtimeScheduler::StateOf(StationId station,
                                                           AccessCategory ac) {
+  AF_CHECK_GE(station, 0) << " scheduler state requested for an invalid station";
   while (station >= static_cast<StationId>(stations_.size())) {
     auto entry = std::make_unique<std::array<StationState, kNumAccessCategories>>();
     for (auto& state : *entry) {
@@ -55,6 +62,10 @@ StationId AirtimeScheduler::NextStation(AccessCategory ac,
     }
     if (state->deficit_us <= 0) {
       state->deficit_us += config_.quantum_us;
+      // Replenishment of a non-positive deficit lands in (-inf, quantum]:
+      // the post-replenish value can never exceed one quantum (Algorithm 3
+      // line 7 analogue of FQ-CoDel's deficit bound).
+      AF_DCHECK_LE(state->deficit_us, config_.quantum_us);
       lists.old_stations.MoveToBack(state);
       continue;  // restart
     }
@@ -68,12 +79,22 @@ StationId AirtimeScheduler::NextStation(AccessCategory ac,
       }
       continue;  // restart
     }
+    // A station is only ever selected while its deficit is in (0, quantum].
+    AF_DCHECK_GT(state->deficit_us, 0);
+    AF_DCHECK_LE(state->deficit_us, config_.quantum_us);
     return state->station;
   }
 }
 
 void AirtimeScheduler::ChargeAirtime(StationId station, AccessCategory ac, TimeUs airtime) {
-  StateOf(station, ac).deficit_us -= airtime.us();
+  AF_DCHECK_GE(airtime.us(), 0) << " negative airtime charge";
+  StationState& state = StateOf(station, ac);
+  // Guard against wraparound in the deficit accumulator (a runaway charge
+  // loop would otherwise flip the deficit positive again).
+  AF_DCHECK_GT(state.deficit_us, std::numeric_limits<int64_t>::min() / 2);
+  max_single_charge_us_ = std::max(max_single_charge_us_, airtime.us());
+  state.deficit_us -= airtime.us();
+  min_deficit_seen_us_ = std::min(min_deficit_seen_us_, state.deficit_us);
 }
 
 int64_t AirtimeScheduler::DeficitUs(StationId station, AccessCategory ac) const {
@@ -86,6 +107,95 @@ int64_t AirtimeScheduler::DeficitUs(StationId station, AccessCategory ac) const 
 bool AirtimeScheduler::HasBacklogged(AccessCategory ac) const {
   const AcState& lists = acs_[static_cast<size_t>(ac)];
   return !lists.new_stations.empty() || !lists.old_stations.empty();
+}
+
+int AirtimeScheduler::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("airtime_scheduler: " + message);
+  };
+  auto subfail = [&](const std::string& message) { report(message); };
+
+  // Upper bound holds for *every* station state, listed or not: deficits
+  // start at 0, MarkBacklogged resets to exactly one quantum, replenishment
+  // caps at one quantum, and charges only subtract.
+  for (size_t sid = 0; sid < stations_.size(); ++sid) {
+    for (size_t ac = 0; ac < static_cast<size_t>(kNumAccessCategories); ++ac) {
+      const StationState& state = (*stations_[sid])[ac];
+      if (state.deficit_us > config_.quantum_us) {
+        std::ostringstream os;
+        os << "deficit above quantum for station " << sid << " ac " << ac << ": deficit="
+           << state.deficit_us << "us quantum=" << config_.quantum_us << "us";
+        report(os.str());
+      }
+      if (state.station != static_cast<StationId>(sid)) {
+        std::ostringstream os;
+        os << "station state at index " << sid << " carries id " << state.station;
+        report(os.str());
+      }
+    }
+  }
+
+  // Sound floor: every legitimate negative deficit was produced by a charge,
+  // and ChargeAirtime records its low-watermark. Anything lower was written
+  // by something other than the scheduler.
+  const int64_t floor_us = min_deficit_seen_us_;
+  for (size_t ac = 0; ac < acs_.size(); ++ac) {
+    const AcState& lists = acs_[ac];
+    violations += lists.new_stations.CheckIntegrity(subfail);
+    violations += lists.old_stations.CheckIntegrity(subfail);
+    for (const auto* list : {&lists.new_stations, &lists.old_stations}) {
+      for (const StationState* state : *list) {
+        if (state->station < 0 || state->station >= static_cast<StationId>(stations_.size())) {
+          std::ostringstream os;
+          os << "listed station id " << state->station << " out of range for ac " << ac;
+          report(os.str());
+          continue;
+        }
+        // Anti-gaming consistency: the listed entry must be the canonical
+        // state object for (station, ac) — a stale or cloned entry would let
+        // a station hold sparse priority it no longer owns.
+        const StationState& canonical =
+            (*stations_[static_cast<size_t>(state->station)])[ac];
+        if (state != &canonical) {
+          std::ostringstream os;
+          os << "listed entry for station " << state->station << " ac " << ac
+             << " is not the canonical state object";
+          report(os.str());
+        }
+        if (state->deficit_us < floor_us) {
+          std::ostringstream os;
+          os << "deficit below audited floor for station " << state->station << " ac " << ac
+             << ": deficit=" << state->deficit_us << "us floor=" << floor_us << "us";
+          report(os.str());
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+void AirtimeScheduler::CorruptDeficitForTesting(AccessCategory ac) {
+  AcState& lists = acs_[static_cast<size_t>(ac)];
+  StationState* state = lists.new_stations.Front();
+  if (state == nullptr) {
+    state = lists.old_stations.Front();
+  }
+  if (state != nullptr) {
+    state->deficit_us = config_.quantum_us * 16;
+  }
+}
+
+void AirtimeScheduler::CorruptDeficitBelowFloorForTesting(AccessCategory ac) {
+  AcState& lists = acs_[static_cast<size_t>(ac)];
+  StationState* state = lists.new_stations.Front();
+  if (state == nullptr) {
+    state = lists.old_stations.Front();
+  }
+  if (state != nullptr) {
+    state->deficit_us = min_deficit_seen_us_ - 1000;
+  }
 }
 
 }  // namespace airfair

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/mac/frame.h"
@@ -64,6 +65,34 @@ class AirtimeScheduler {
   // queues have since drained; NextStation cleans those up lazily).
   bool HasBacklogged(AccessCategory ac) const;
 
+  // Largest single airtime charge observed (diagnostic).
+  int64_t max_single_charge_us() const { return max_single_charge_us_; }
+
+  // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
+  // violation and returning the violation count:
+  //  * intrusive-list integrity of every AC's new/old station list;
+  //  * the Algorithm 3 deficit upper bound: deficit <= quantum for every
+  //    station state (replenishment adds one quantum only when the deficit
+  //    is <= 0, and newly scheduled stations start at exactly one quantum);
+  //  * a sound lower bound catching accounting blowups (signed overflow,
+  //    external corruption): no deficit lies below the low-watermark that
+  //    ChargeAirtime itself recorded (min_deficit_seen). Any legitimate
+  //    negative deficit was produced by a charge, which records it; the
+  //    tight post-service bound (deficit in (-quantum, quantum] immediately
+  //    after a TX charge) is enforced at the decision points by AF_DCHECKs
+  //    inside NextStation/ChargeAirtime, because received-airtime accounting
+  //    (the paper's improvement #2) can legitimately push a busy uplink
+  //    station's deficit many quanta negative between scheduling rounds;
+  //  * sparse-station anti-gaming state: every listed station entry is
+  //    consistent (valid id, matching index, not double-listed).
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only corruption hooks: force a listed station's deficit above the
+  // quantum bound / below the charge low-watermark so the auditor's
+  // detection of either direction can be tested.
+  void CorruptDeficitForTesting(AccessCategory ac);
+  void CorruptDeficitBelowFloorForTesting(AccessCategory ac);
+
  private:
   struct StationState {
     StationId station = kNoStation;
@@ -79,6 +108,10 @@ class AirtimeScheduler {
   StationState& StateOf(StationId station, AccessCategory ac);
 
   Config config_;
+  int64_t max_single_charge_us_ = 0;
+  // Lowest post-charge deficit ChargeAirtime ever produced: the sound floor
+  // for the periodic audit (deficits only go below zero through charges).
+  int64_t min_deficit_seen_us_ = 0;
   std::array<AcState, kNumAccessCategories> acs_;
   // Indexed [station]; one state per AC inside. Heap-allocated entries keep
   // linked ListNodes stable across vector growth.

@@ -1,5 +1,6 @@
 #include "src/core/codel_adaptation.h"
 
+#include <sstream>
 #include <utility>
 
 namespace airfair {
@@ -25,6 +26,7 @@ void CodelAdaptation::UpdateExpectedThroughput(StationId station, double bps) {
     state.low_rate = want_low;
     state.initialized = true;
     state.last_change = now;
+    state.decided_bps = bps;
     return;
   }
   if (want_low == state.low_rate) {
@@ -33,8 +35,11 @@ void CodelAdaptation::UpdateExpectedThroughput(StationId station, double bps) {
   if (now - state.last_change < config_.hysteresis) {
     return;  // Within the hysteresis window: hold the current setting.
   }
+  min_change_gap_ = std::min(min_change_gap_, now - state.last_change);
+  ++change_count_;
   state.low_rate = want_low;
   state.last_change = now;
+  state.decided_bps = bps;
 }
 
 CoDelParams CodelAdaptation::ParamsFor(StationId station) const {
@@ -49,6 +54,71 @@ bool CodelAdaptation::IsLowRate(StationId station) const {
     return false;
   }
   return states_[static_cast<size_t>(station)].low_rate;
+}
+
+namespace {
+
+bool SameParams(const CoDelParams& a, const CoDelParams& b) {
+  return a.target == b.target && a.interval == b.interval;
+}
+
+}  // namespace
+
+int CodelAdaptation::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("codel_adaptation: " + message);
+  };
+
+  // Hysteresis: switches observed closer together than the window mean the
+  // 2 s rule regressed.
+  if (change_count_ > 0 && min_change_gap_ < config_.hysteresis) {
+    std::ostringstream os;
+    os << "hysteresis violated: two parameter switches only " << min_change_gap_.us()
+       << "us apart (window " << config_.hysteresis.us() << "us)";
+    report(os.str());
+  }
+
+  for (size_t sid = 0; sid < states_.size(); ++sid) {
+    const State& state = states_[sid];
+    if (!state.initialized) {
+      if (state.low_rate) {
+        std::ostringstream os;
+        os << "station " << sid << " holds low-rate params without any estimate";
+        report(os.str());
+      }
+      continue;
+    }
+    // Low-rate params are only held when the deciding estimate was below the
+    // threshold (and symmetrically for the normal set).
+    const bool decided_low = state.decided_bps < config_.threshold_bps;
+    if (state.low_rate != decided_low) {
+      std::ostringstream os;
+      os << "station " << sid << " parameter set disagrees with its deciding estimate ("
+         << state.decided_bps << " bps vs threshold " << config_.threshold_bps << " bps)";
+      report(os.str());
+    }
+    // ParamsFor must resolve to exactly one of the two configured sets.
+    const CoDelParams params = ParamsFor(static_cast<StationId>(sid));
+    const CoDelParams& expected = state.low_rate ? config_.low_rate : config_.normal;
+    if (!SameParams(params, expected)) {
+      std::ostringstream os;
+      os << "station " << sid << " resolves to params outside the configured sets";
+      report(os.str());
+    }
+  }
+  return violations;
+}
+
+void CodelAdaptation::CorruptLowRateStateForTesting(StationId station) {
+  if (station < 0 || station >= static_cast<StationId>(states_.size())) {
+    return;
+  }
+  State& state = states_[static_cast<size_t>(station)];
+  state.initialized = true;
+  state.low_rate = true;
+  state.decided_bps = config_.threshold_bps * 10;  // Contradicts low_rate.
 }
 
 }  // namespace airfair

@@ -11,7 +11,10 @@
 #ifndef AIRFAIR_SRC_CORE_CODEL_ADAPTATION_H_
 #define AIRFAIR_SRC_CORE_CODEL_ADAPTATION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/aqm/codel.h"
@@ -41,16 +44,43 @@ class CodelAdaptation {
 
   bool IsLowRate(StationId station) const;
 
+  // Number of post-initialisation parameter switches across all stations.
+  int64_t change_count() const { return change_count_; }
+
+  // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
+  // violation and returning the violation count:
+  //  * hysteresis: no two parameter switches for a station ever happened
+  //    closer together than the configured window (2 s by default) — the
+  //    smallest observed gap is tracked at switch time;
+  //  * the low-rate parameter set (50 ms / 300 ms by default) is only held
+  //    by stations whose deciding throughput estimate was below the
+  //    threshold (12 Mbit/s by default), and vice versa;
+  //  * ParamsFor resolves to exactly one of the two configured sets.
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only corruption hooks for tests/sim_audit_test.cc.
+  void CorruptHysteresisForTesting() {
+    min_change_gap_ = TimeUs(1);
+    change_count_ = std::max<int64_t>(change_count_, 1);
+  }
+  void CorruptLowRateStateForTesting(StationId station);
+
  private:
   struct State {
     bool low_rate = false;
     bool initialized = false;
     TimeUs last_change = TimeUs::Zero();
+    // Throughput estimate that decided the current low_rate setting.
+    double decided_bps = 0.0;
   };
 
   std::function<TimeUs()> clock_;
   Config config_;
   std::vector<State> states_;
+  // Smallest gap ever observed between two parameter switches of one
+  // station; TimeUs::Max() until the first post-init switch.
+  TimeUs min_change_gap_ = TimeUs::Max();
+  int64_t change_count_ = 0;
 };
 
 }  // namespace airfair

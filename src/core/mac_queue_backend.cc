@@ -1,5 +1,6 @@
 #include "src/core/mac_queue_backend.h"
 
+#include <string>
 #include <utility>
 
 #include "src/mac/aggregation.h"
@@ -168,6 +169,35 @@ void MacQueueBackend::AccountRxAirtime(StationId station, AccessCategory ac, Tim
   if (config_.airtime_fairness && config_.rx_airtime_accounting && station >= 0) {
     scheduler_.ChargeAirtime(station, ac, airtime);
   }
+}
+
+void MacQueueBackend::RegisterAudits(Auditor* auditor) const {
+  auditor->AddCheck("mac_queues",
+                    [this](const Auditor::FailFn& fail) { queues_.CheckInvariants(fail); });
+  if (config_.airtime_fairness) {
+    auditor->AddCheck("airtime_scheduler", [this](const Auditor::FailFn& fail) {
+      scheduler_.CheckInvariants(fail);
+    });
+  }
+  if (config_.codel_adaptation) {
+    auditor->AddCheck("codel_adaptation", [this](const Auditor::FailFn& fail) {
+      adaptation_.CheckInvariants(fail);
+    });
+  }
+  auditor->AddCheck("backend_retry", [this](const Auditor::FailFn& fail) {
+    int retries = 0;
+    for (const auto& [key, queue] : retry_) {
+      for (const Mpdu& mpdu : queue) {
+        if (mpdu.packet == nullptr) {
+          fail("backend: retry queue holds a null packet for key " + std::to_string(key));
+        }
+      }
+      retries += static_cast<int>(queue.size());
+    }
+    if (queues_.packet_count() + retries != packet_count()) {
+      fail("backend: packet_count disagrees with queues + retry recount");
+    }
+  });
 }
 
 int MacQueueBackend::packet_count() const {

@@ -21,6 +21,7 @@
 #include "src/core/mac_queues.h"
 #include "src/mac/ap_backend.h"
 #include "src/mac/station_table.h"
+#include "src/sim/audit.h"
 #include "src/sim/simulation.h"
 
 namespace airfair {
@@ -58,6 +59,22 @@ class MacQueueBackend : public ApQueueBackend {
   const MacQueues& queues() const { return queues_; }
   const AirtimeScheduler& scheduler() const { return scheduler_; }
   const CodelAdaptation& adaptation() const { return adaptation_; }
+
+  // Mutable access for tests that inject invariant violations
+  // (tests/sim_audit_test.cc).
+  MacQueues& queues_for_testing() { return queues_; }
+  AirtimeScheduler& scheduler_for_testing() { return scheduler_; }
+  CodelAdaptation& adaptation_for_testing() { return adaptation_; }
+
+  // Registers this backend's invariant checks with `auditor`:
+  //   mac_queues         Algorithms 1-2 structure + packet conservation
+  //   airtime_scheduler  Algorithm 3 deficit bounds + anti-gaming state
+  //                      (only when airtime fairness is enabled)
+  //   codel_adaptation   Section 3.1.1 threshold + hysteresis
+  //   backend_retry      retry-queue bookkeeping (non-negative, consistent
+  //                      with packet_count)
+  // The backend must outlive the auditor's sweeps.
+  void RegisterAudits(Auditor* auditor) const;
 
  private:
   bool HasData(StationId station, AccessCategory ac) const;

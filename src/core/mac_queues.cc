@@ -1,8 +1,10 @@
 #include "src/core/mac_queues.h"
 
-#include <cassert>
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/flow_hash.h"
 
 namespace airfair {
@@ -49,8 +51,9 @@ void MacQueues::DropFromLongestQueue() {
   longest->bytes -= victim->size_bytes;
   --total_packets_;
   ++overflow_drops_;
-  assert(longest->tid != nullptr);
+  AF_DCHECK(longest->tid != nullptr) << " backlogged queue without a TID assignment";
   longest->tid->backlog_packets--;
+  AF_DCHECK_GE(longest->tid->backlog_packets, 0);
   if (longest->packets.empty()) {
     longest->backlog_node.Unlink();
   }
@@ -73,9 +76,12 @@ void MacQueues::Enqueue(PacketPtr packet, StationId station, Tid tid) {
   queue->tid = &txq;
 
   packet->enqueued = clock_();  // Timestamp used by CoDel at dequeue.
+  AF_DCHECK_GT(packet->size_bytes, 0);
+  max_packet_bytes_seen_ = std::max(max_packet_bytes_seen_, packet->size_bytes);
   queue->bytes += packet->size_bytes;
   queue->packets.push_back(std::move(packet));
   ++total_packets_;
+  ++enqueued_total_;
   ++txq.backlog_packets;
   if (!queue->backlog_node.linked()) {
     backlogged_.PushBack(queue);
@@ -140,8 +146,152 @@ PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
       }
       continue;  // restart
     }
+    // Algorithm 2, line 12: the selected queue had a positive deficit.
+    AF_DCHECK_GT(queue->deficit, 0);
+    AF_DCHECK_LE(queue->deficit, config_.quantum_bytes);
     queue->deficit -= packet->size_bytes;
+    ++dequeued_total_;
     return packet;
+  }
+}
+
+int MacQueues::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("mac_queues: " + message);
+  };
+  auto subfail = [&](const std::string& message) { report(message); };
+
+  // --- Global packet conservation -----------------------------------------
+  const int64_t accounted =
+      dequeued_total_ + codel_drops_ + overflow_drops_ + total_packets_;
+  if (enqueued_total_ != accounted) {
+    std::ostringstream os;
+    os << "packet conservation violated: enqueued=" << enqueued_total_
+       << " != dequeued=" << dequeued_total_ << " + codel_drops=" << codel_drops_
+       << " + overflow_drops=" << overflow_drops_ << " + resident=" << total_packets_;
+    report(os.str());
+  }
+
+  // --- Backlogged-list structure and byte counters ------------------------
+  violations += backlogged_.CheckIntegrity(subfail);
+  int64_t resident = 0;
+  for (const FlowQueue* q : backlogged_) {
+    if (q->packets.empty()) {
+      report("empty queue on the global backlogged list");
+      continue;
+    }
+    resident += static_cast<int64_t>(q->packets.size());
+    int64_t bytes = 0;
+    for (const PacketPtr& p : q->packets) {
+      bytes += p->size_bytes;
+    }
+    if (bytes != q->bytes) {
+      std::ostringstream os;
+      os << "queue byte counter mismatch: counted=" << bytes << " stored=" << q->bytes;
+      report(os.str());
+    }
+    if (q->tid == nullptr) {
+      report("backlogged queue has no TID assignment");
+    }
+  }
+  if (resident != total_packets_) {
+    std::ostringstream os;
+    os << "resident recount mismatch: backlogged lists hold " << resident
+       << " packets but total_packets=" << total_packets_;
+    report(os.str());
+  }
+
+  // Every non-empty queue (pool and overflow) must be on the backlogged list.
+  auto check_backlog_membership = [&](const FlowQueue& q, const char* kind) {
+    if (!q.packets.empty() && !q.backlog_node.linked()) {
+      std::ostringstream os;
+      os << "non-empty " << kind << " queue missing from the global backlogged list";
+      report(os.str());
+    }
+  };
+  for (const FlowQueue& q : pool_) {
+    check_backlog_membership(q, "pool");
+  }
+
+  // --- Per-TID structure, deficits and CoDel validity ---------------------
+  for (const auto& [key, txq] : tids_) {
+    (void)key;
+    check_backlog_membership(txq->overflow, "overflow");
+    violations += txq->new_queues.CheckIntegrity(subfail);
+    violations += txq->old_queues.CheckIntegrity(subfail);
+
+    int recount = static_cast<int>(txq->overflow.packets.size());
+    for (const FlowQueue& q : pool_) {
+      if (q.tid == txq.get()) {
+        recount += static_cast<int>(q.packets.size());
+      }
+    }
+    if (recount != txq->backlog_packets) {
+      std::ostringstream os;
+      os << "TID backlog counter mismatch for station " << txq->station << " tid "
+         << static_cast<int>(txq->tid) << ": recount=" << recount
+         << " stored=" << txq->backlog_packets;
+      report(os.str());
+    }
+
+    for (const auto* list : {&txq->new_queues, &txq->old_queues}) {
+      for (const FlowQueue* q : *list) {
+        if (q->tid != txq.get()) {
+          report("scheduled queue is assigned to a different TID");
+        }
+        if (q->deficit > config_.quantum_bytes) {
+          std::ostringstream os;
+          os << "flow deficit above quantum: deficit=" << q->deficit
+             << " quantum=" << config_.quantum_bytes;
+          report(os.str());
+        }
+        if (max_packet_bytes_seen_ > 0 && q->deficit <= -max_packet_bytes_seen_) {
+          std::ostringstream os;
+          os << "flow deficit below bound: deficit=" << q->deficit
+             << " max_packet_seen=" << max_packet_bytes_seen_;
+          report(os.str());
+        }
+        violations += q->codel.CheckValid(subfail);
+      }
+    }
+  }
+  return violations;
+}
+
+void MacQueues::CorruptDeficitForTesting() {
+  for (auto& [key, txq] : tids_) {
+    (void)key;
+    if (FlowQueue* q = txq->new_queues.Front(); q != nullptr) {
+      q->deficit = config_.quantum_bytes * 16;
+      return;
+    }
+    if (FlowQueue* q = txq->old_queues.Front(); q != nullptr) {
+      q->deficit = config_.quantum_bytes * 16;
+      return;
+    }
+  }
+}
+
+void MacQueues::CorruptCodelStateForTesting() {
+  for (auto& [key, txq] : tids_) {
+    (void)key;
+    for (auto* list : {&txq->new_queues, &txq->old_queues}) {
+      if (FlowQueue* q = list->Front(); q != nullptr) {
+        // Dropping with an unarmed next-drop clock is unreachable by the
+        // control law; the auditor must flag it.
+        q->codel.ForceStateForTesting(/*dropping=*/true, TimeUs::Zero(), /*count=*/0,
+                                      /*lastcount=*/5);
+        return;
+      }
+    }
+  }
+}
+
+void MacQueues::CorruptTidBacklogForTesting() {
+  if (!tids_.empty()) {
+    tids_.begin()->second->backlog_packets += 7;
   }
 }
 

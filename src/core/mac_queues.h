@@ -78,6 +78,33 @@ class MacQueues {
   int64_t overflow_drops() const { return overflow_drops_; }
   int64_t drops() const { return codel_drops_ + overflow_drops_; }
 
+  // Lifetime accounting for the conservation audit: every packet handed to
+  // Enqueue is eventually dequeued, dropped, or still resident.
+  int64_t enqueued_total() const { return enqueued_total_; }
+  int64_t dequeued_total() const { return dequeued_total_; }
+
+  // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
+  // violation and returning the violation count:
+  //  * packet conservation: enqueued == dequeued + dropped + resident,
+  //    including the per-TID overflow queues;
+  //  * the global backlogged list contains exactly the non-empty queues and
+  //    its per-queue byte counters match the packets held;
+  //  * per-TID backlog counters match a recount;
+  //  * scheduled-queue/TID assignment consistency and intrusive-list
+  //    structural integrity (new, old and backlogged lists);
+  //  * FQ-CoDel deficit bounds: deficit <= quantum always, and a queue's
+  //    deficit never falls to -max_packet_size or below (one dequeue charges
+  //    at most one packet against a positive deficit);
+  //  * per-flow CoDel state-machine validity.
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only corruption hooks, used by tests/sim_audit_test.cc to prove the
+  // auditor detects each invariant class.
+  void CorruptConservationForTesting() { ++enqueued_total_; }
+  void CorruptDeficitForTesting();
+  void CorruptCodelStateForTesting();
+  void CorruptTidBacklogForTesting();
+
  private:
   struct TidQueue;
 
@@ -115,6 +142,10 @@ class MacQueues {
   int total_packets_ = 0;
   int64_t codel_drops_ = 0;
   int64_t overflow_drops_ = 0;
+  int64_t enqueued_total_ = 0;
+  int64_t dequeued_total_ = 0;
+  // Largest packet ever enqueued; bounds how far a deficit may go negative.
+  int32_t max_packet_bytes_seen_ = 0;
 };
 
 }  // namespace airfair

@@ -1,5 +1,7 @@
 #include "src/mac/reorder.h"
 
+#include <sstream>
+#include <string>
 #include <utility>
 
 namespace airfair {
@@ -69,6 +71,73 @@ void ReorderBuffer::FlushHole(Stream* stream) {
   // Skip to the first buffered frame, abandoning the hole.
   stream->expected = stream->buffer.begin()->first;
   ReleaseContiguous(stream);
+}
+
+int ReorderBuffer::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail("reorder: " + message);
+  };
+
+  int64_t recount = 0;
+  for (const auto& [key, stream] : streams_) {
+    recount += static_cast<int64_t>(stream->buffer.size());
+    for (const auto& [seq, packet] : stream->buffer) {
+      if (seq < stream->expected) {
+        std::ostringstream os;
+        os << "stream " << key << " holds already-released seq " << seq
+           << " (expected=" << stream->expected << ")";
+        report(os.str());
+      }
+      if (seq == stream->expected) {
+        std::ostringstream os;
+        os << "stream " << key << " buffers its own release point seq " << seq;
+        report(os.str());
+      }
+      if (packet == nullptr) {
+        std::ostringstream os;
+        os << "stream " << key << " holds a null packet at seq " << seq;
+        report(os.str());
+      }
+    }
+    if (!stream->buffer.empty()) {
+      const int64_t span = stream->buffer.rbegin()->first - stream->expected;
+      if (span >= config_.window) {
+        std::ostringstream os;
+        os << "stream " << key << " exceeds the block-ack window: span=" << span
+           << " window=" << config_.window;
+        report(os.str());
+      }
+      if (!stream->flush_timer.pending()) {
+        std::ostringstream os;
+        os << "stream " << key << " holds packets but its flush timer is not armed";
+        report(os.str());
+      }
+    } else if (stream->flush_timer.pending()) {
+      std::ostringstream os;
+      os << "stream " << key << " is empty but its flush timer is still armed";
+      report(os.str());
+    }
+  }
+  if (recount != held_) {
+    std::ostringstream os;
+    os << "held-packet counter mismatch: recount=" << recount << " stored=" << held_;
+    report(os.str());
+  }
+  return violations;
+}
+
+void ReorderBuffer::CorruptWindowForTesting() {
+  for (auto& [key, stream] : streams_) {
+    (void)key;
+    if (!stream->buffer.empty()) {
+      // Pretend the release point regressed far behind the highest buffered
+      // frame, blowing the window bound.
+      stream->expected = stream->buffer.begin()->first - config_.window * 4;
+      return;
+    }
+  }
 }
 
 void ReorderBuffer::ArmTimer(Stream* stream) {

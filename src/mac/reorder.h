@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "src/net/packet.h"
@@ -64,6 +65,21 @@ class ReorderBuffer {
 
   int64_t held_packets() const { return held_; }
   int64_t timeout_flushes() const { return timeout_flushes_; }
+
+  // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
+  // violation and returning the violation count:
+  //  * the held-packet counter matches a recount over every stream buffer;
+  //  * every buffered sequence number is strictly ahead of the stream's
+  //    release point (an already-released sequence held in the buffer would
+  //    be a duplicate delivery waiting to happen);
+  //  * the block-ack window bound: the span between the release point and
+  //    the highest buffered sequence stays below the configured window;
+  //  * the flush timer is armed exactly when a stream holds packets.
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+
+  // Test-only corruption hook for tests/sim_audit_test.cc.
+  void CorruptHeldCountForTesting() { ++held_; }
+  void CorruptWindowForTesting();
 
  private:
   struct Stream {

@@ -1,9 +1,11 @@
 #include "src/scenario/testbed.h"
 
+#include <string>
 #include <utility>
 
 #include "src/aqm/fifo.h"
 #include "src/aqm/fq_codel.h"
+#include "src/util/check.h"
 #include "src/util/stats.h"
 
 namespace airfair {
@@ -134,34 +136,85 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
     control->ReportResult(tx.rate.mcs, tx.frame_count(), succeeded);
     station_table_.GetMutable(tx.station).rate = control->PickRate();
   });
+
+  BuildAuditor(config);
+}
+
+Testbed::~Testbed() {
+  if (auditor_ != nullptr) {
+    // The CHECK time provider points at this testbed's clock; detach it
+    // before the simulation is torn down.
+    SetCheckTimeProvider(nullptr);
+  }
+}
+
+void Testbed::BuildAuditor(const TestbedConfig& config) {
+  if (!config.audit) {
+    return;
+  }
+  auditor_ = std::make_unique<Auditor>(&sim_.loop(), config.audit_config);
+  // Failure messages gain simulated-timestamp context while this testbed is
+  // alive (cleared in the destructor).
+  EventLoop* loop = &sim_.loop();
+  SetCheckTimeProvider([loop] { return loop->now(); });
+
+  auditor_->WatchEventLoop();
+  if (mac_backend_ != nullptr) {
+    mac_backend_->RegisterAudits(auditor_.get());
+  }
+  if (qdisc_backend_ != nullptr) {
+    if (const auto* fq = dynamic_cast<const FqCodelQdisc*>(&qdisc_backend_->qdisc());
+        fq != nullptr) {
+      auditor_->AddCheck("fq_codel", [fq](const Auditor::FailFn& fail) {
+        fq->CheckInvariants(fail);
+      });
+    }
+  }
+  for (size_t i = 0; i < reorder_.size(); ++i) {
+    const ReorderBuffer* buffer = reorder_[i].get();
+    const std::string name =
+        i + 1 == reorder_.size() ? std::string("reorder.ap") : "reorder." + std::to_string(i);
+    auditor_->AddCheck(name, [buffer](const Auditor::FailFn& fail) {
+      buffer->CheckInvariants(fail);
+    });
+  }
+  auditor_->Start();
 }
 
 void Testbed::BuildBackend(const TestbedConfig& config) {
   switch (config.scheme) {
     case QueueScheme::kFifo: {
       auto qdisc = std::make_unique<FifoQdisc>(config.fifo_limit_packets);
-      ap_->SetBackend(std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
-                                                     ap_node(), config.qdisc_backend));
+      auto backend = std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
+                                                    ap_node(), config.qdisc_backend);
+      qdisc_backend_ = backend.get();
+      ap_->SetBackend(std::move(backend));
       break;
     }
     case QueueScheme::kFqCodel: {
       FqCodelConfig fq;
       Simulation* sim = &sim_;
       auto qdisc = std::make_unique<FqCodelQdisc>([sim] { return sim->now(); }, fq);
-      ap_->SetBackend(std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
-                                                     ap_node(), config.qdisc_backend));
+      auto backend = std::make_unique<QdiscBackend>(std::move(qdisc), &station_table_,
+                                                    ap_node(), config.qdisc_backend);
+      qdisc_backend_ = backend.get();
+      ap_->SetBackend(std::move(backend));
       break;
     }
     case QueueScheme::kFqMac: {
       MacQueueBackend::Config be = config.mac_backend;
       be.airtime_fairness = false;
-      ap_->SetBackend(std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be));
+      auto backend = std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be);
+      mac_backend_ = backend.get();
+      ap_->SetBackend(std::move(backend));
       break;
     }
     case QueueScheme::kAirtimeFair: {
       MacQueueBackend::Config be = config.mac_backend;
       be.airtime_fairness = true;
-      ap_->SetBackend(std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be));
+      auto backend = std::make_unique<MacQueueBackend>(&sim_, &station_table_, ap_node(), be);
+      mac_backend_ = backend.get();
+      ap_->SetBackend(std::move(backend));
       break;
     }
   }

@@ -26,6 +26,7 @@
 #include "src/mac/station_table.h"
 #include "src/net/host.h"
 #include "src/net/wired_link.h"
+#include "src/sim/audit.h"
 #include "src/sim/simulation.h"
 
 namespace airfair {
@@ -73,11 +74,19 @@ struct TestbedConfig {
   // Settings for the FQ-MAC / airtime backends (ablation switches live
   // here; `airtime_fairness` is overridden by `scheme`).
   MacQueueBackend::Config mac_backend;
+
+  // Runtime invariant auditing (src/sim/audit.h). Defaults to on for
+  // AIRFAIR_AUDIT builds or AIRFAIR_AUDIT=1 environments; the auditor then
+  // sweeps every component's invariants on audit.interval cadence and, with
+  // audit.fatal (the default), fails hard on the first violation.
+  bool audit = AuditEnabledByDefault();
+  Auditor::Config audit_config;
 };
 
 class Testbed {
  public:
   explicit Testbed(const TestbedConfig& config);
+  ~Testbed();
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -111,8 +120,12 @@ class Testbed {
     return rate_controls_[static_cast<size_t>(station)].get();
   }
 
+  // The invariant auditor, or nullptr when auditing is disabled.
+  Auditor* auditor() { return auditor_.get(); }
+
  private:
   void BuildBackend(const TestbedConfig& config);
+  void BuildAuditor(const TestbedConfig& config);
 
   Simulation sim_;
   StationTable station_table_;
@@ -126,6 +139,10 @@ class Testbed {
   // stations, last = AP).
   std::vector<std::unique_ptr<ReorderBuffer>> reorder_;
   std::vector<std::unique_ptr<MinstrelRateControl>> rate_controls_;
+  std::unique_ptr<Auditor> auditor_;
+  // Non-owning views of the backend for audit registration.
+  MacQueueBackend* mac_backend_ = nullptr;
+  QdiscBackend* qdisc_backend_ = nullptr;
   TimeUs measurement_start_;
   std::vector<TimeUs> airtime_baseline_;
 };

@@ -1,29 +1,40 @@
 #include "src/sim/event_loop.h"
 
-#include <cassert>
+#include <algorithm>
+#include <sstream>
 #include <utility>
+
+#include "src/util/check.h"
 
 namespace airfair {
 
 EventHandle EventLoop::ScheduleAt(TimeUs when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule in the past");
+  AF_CHECK_GE(when.us(), now_.us()) << " cannot schedule in the past";
   auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  heap_.push_back(Event{when, next_seq_++, std::move(fn), cancelled});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter());
   return EventHandle(std::move(cancelled));
 }
 
+EventLoop::Event EventLoop::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter());
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
 void EventLoop::RunUntil(TimeUs end) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > end) {
+  while (!heap_.empty()) {
+    if (heap_.front().when > end) {
       break;
     }
-    // Copy out before pop; pop invalidates the reference.
-    Event event = top;
-    queue_.pop();
+    Event event = PopTop();
+    AF_DCHECK_GE(event.when.us(), now_.us()) << " event-loop time went backwards";
     now_ = event.when;
     if (!*event.cancelled) {
       *event.cancelled = true;  // Mark fired so handles report !pending().
+      last_dispatched_ = event.when;
+      ++dispatched_events_;
       event.fn();
     }
   }
@@ -33,18 +44,59 @@ void EventLoop::RunUntil(TimeUs end) {
 }
 
 bool EventLoop::RunOne() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event event = PopTop();
+    AF_DCHECK_GE(event.when.us(), now_.us()) << " event-loop time went backwards";
     now_ = event.when;
     if (*event.cancelled) {
       continue;
     }
     *event.cancelled = true;
+    last_dispatched_ = event.when;
+    ++dispatched_events_;
     event.fn();
     return true;
   }
   return false;
+}
+
+int EventLoop::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+  int violations = 0;
+  auto report = [&](const std::string& message) {
+    ++violations;
+    fail(message);
+  };
+
+  if (!std::is_heap(heap_.begin(), heap_.end(), EventAfter())) {
+    report("event heap violates the heap property");
+  }
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    const Event& event = heap_[i];
+    if (event.when < now_) {
+      std::ostringstream os;
+      os << "pending event at index " << i << " is in the past: when=" << event.when.us()
+         << "us now=" << now_.us() << "us";
+      report(os.str());
+    }
+    if (event.seq >= next_seq_) {
+      std::ostringstream os;
+      os << "pending event at index " << i << " has unissued seq " << event.seq
+         << " (next_seq=" << next_seq_ << ")";
+      report(os.str());
+    }
+    if (event.cancelled == nullptr) {
+      std::ostringstream os;
+      os << "pending event at index " << i << " has no cancellation state";
+      report(os.str());
+    }
+  }
+  if (last_dispatched_ > now_) {
+    std::ostringstream os;
+    os << "dispatch clock ran ahead of loop clock: last_dispatched=" << last_dispatched_.us()
+       << "us now=" << now_.us() << "us";
+    report(os.str());
+  }
+  return violations;
 }
 
 }  // namespace airfair

@@ -4,6 +4,11 @@
 // number makes same-time events fire in scheduling order, which keeps runs
 // deterministic. Events are arbitrary callables and can be cancelled through
 // the returned handle.
+//
+// The heap is an explicit std::vector managed with std::push_heap/pop_heap
+// (rather than std::priority_queue) so the invariant auditor can inspect it:
+// CheckInvariants verifies the heap property, that no pending event is in the
+// past, and that dispatch time is monotone.
 
 #ifndef AIRFAIR_SRC_SIM_EVENT_LOOP_H_
 #define AIRFAIR_SRC_SIM_EVENT_LOOP_H_
@@ -11,7 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "src/util/time.h"
@@ -67,7 +72,21 @@ class EventLoop {
   // empty. Mostly for tests.
   bool RunOne();
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return heap_.size(); }
+
+  // Dispatch time of the most recently fired event (Zero before any fire).
+  TimeUs last_dispatched() const { return last_dispatched_; }
+  int64_t dispatched_events() const { return dispatched_events_; }
+
+  // Verifies event-queue invariants, calling `fail` once per violation:
+  //  * the heap property holds over the pending-event array;
+  //  * no pending event is scheduled before `now()`;
+  //  * sequence numbers are within the issued range (duplicates would break
+  //    deterministic same-time ordering);
+  //  * the dispatch clock never ran ahead of the loop clock.
+  // Returns the number of violations found. Read-only; safe to call from an
+  // audit event while the loop runs.
+  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
 
  private:
   struct Event {
@@ -75,19 +94,27 @@ class EventLoop {
     uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
+  };
 
-    // Min-heap via std::priority_queue (which is a max-heap): invert.
-    bool operator<(const Event& other) const {
-      if (when != other.when) {
-        return when > other.when;
+  // Min-heap on (when, seq) via the std heap algorithms (which build a
+  // max-heap with respect to the comparator: invert).
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
       }
-      return seq > other.seq;
+      return a.seq > b.seq;
     }
   };
 
+  // Removes and returns the earliest event.
+  Event PopTop();
+
   TimeUs now_ = TimeUs::Zero();
+  TimeUs last_dispatched_ = TimeUs::Zero();
+  int64_t dispatched_events_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event> queue_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace airfair

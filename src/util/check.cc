@@ -1,0 +1,55 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace airfair {
+namespace {
+
+CheckFailureHandler& Handler() {
+  static CheckFailureHandler handler;  // Empty = default abort behaviour.
+  return handler;
+}
+
+std::function<TimeUs()>& TimeProvider() {
+  static std::function<TimeUs()> provider;
+  return provider;
+}
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = std::move(Handler());
+  Handler() = std::move(handler);
+  return previous;
+}
+
+void SetCheckTimeProvider(std::function<TimeUs()> provider) {
+  TimeProvider() = std::move(provider);
+}
+
+namespace check_detail {
+
+void FailCheck(const char* file, int line, const std::string& message) {
+  if (Handler()) {
+    Handler()(file, line, message);
+    return;  // Non-fatal handler installed: continue past the check.
+  }
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+FailureStream::FailureStream(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition;
+  if (TimeProvider()) {
+    stream_ << " [t=" << TimeProvider()().us() << "us]";
+  }
+}
+
+FailureStream::~FailureStream() { FailCheck(file_, line_, stream_.str()); }
+
+}  // namespace check_detail
+}  // namespace airfair

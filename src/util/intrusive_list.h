@@ -11,6 +11,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <functional>
+#include <sstream>
+#include <string>
 
 namespace airfair {
 
@@ -146,6 +149,50 @@ class IntrusiveList {
 
   Iterator begin() const { return Iterator(head_.next_); }
   Iterator end() const { return Iterator(const_cast<ListNode*>(&head_)); }
+
+  // Structural integrity audit: verifies that forward and backward links
+  // agree at every node, that every linked node carries an owner
+  // back-pointer, and that the list terminates at the head sentinel within
+  // `kMaxAuditLength` hops (a broken Unlink can otherwise form a cycle that
+  // never returns to the head). Calls `fail` once per problem; returns the
+  // number of problems found. Read-only.
+  int CheckIntegrity(const std::function<void(const std::string&)>& fail) const {
+    static constexpr size_t kMaxAuditLength = size_t{1} << 24;
+    int violations = 0;
+    size_t index = 0;
+    for (const ListNode* p = head_.next_; p != &head_; p = p->next_, ++index) {
+      if (index >= kMaxAuditLength) {
+        ++violations;
+        fail("intrusive list does not terminate (cycle or corrupted links)");
+        return violations;
+      }
+      auto report = [&](const std::string& what) {
+        ++violations;
+        std::ostringstream os;
+        os << what << " at position " << index;
+        fail(os.str());
+      };
+      if (p == nullptr) {
+        ++violations;
+        fail("intrusive list hit a null link before the head sentinel");
+        return violations;
+      }
+      if (p->next_ == nullptr || p->prev_ == nullptr) {
+        report("linked node has a null neighbour pointer");
+        return violations;
+      }
+      if (p->next_->prev_ != p) {
+        report("forward/backward link mismatch");
+      }
+      if (p->prev_->next_ != p) {
+        report("backward/forward link mismatch");
+      }
+      if (p->owner_ == nullptr) {
+        report("linked node has no owner back-pointer");
+      }
+    }
+    return violations;
+  }
 
  private:
   static T* FromNode(const ListNode* node) { return static_cast<T*>(node->owner_); }

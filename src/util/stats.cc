@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 
 namespace airfair {
 
@@ -122,6 +124,34 @@ double MedianOf(std::vector<double> values) {
     return values[n / 2];
   }
   return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+namespace {
+
+// std::map keeps snapshot output sorted and never invalidates references on
+// insert, which is what makes GetCounter's returned reference stable.
+std::map<std::string, Counter>& CounterMap() {
+  static auto* counters = new std::map<std::string, Counter>();
+  return *counters;
+}
+
+}  // namespace
+
+Counter& GetCounter(const std::string& name) { return CounterMap()[name]; }
+
+std::vector<std::pair<std::string, int64_t>> CounterSnapshot() {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(CounterMap().size());
+  for (const auto& [name, counter] : CounterMap()) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+void ResetCounters() {
+  for (auto& [name, counter] : CounterMap()) {
+    counter.Set(0);
+  }
 }
 
 }  // namespace airfair

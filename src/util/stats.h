@@ -97,6 +97,35 @@ class ThroughputMeter {
 // per-test mean").
 double MedianOf(std::vector<double> values);
 
+// ---------------------------------------------------------------------------
+// Named monotonic counters.
+//
+// A tiny process-global registry used by the correctness tooling (the
+// invariant auditor records audit.checks / audit.violations.* here) and
+// available to any component that wants a named statistic without plumbing.
+// Not for hot paths: lookup is by string. Counters are created on first use
+// and live for the process lifetime.
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Returns the counter registered under `name`, creating it if needed.
+// The returned reference is stable for the process lifetime.
+Counter& GetCounter(const std::string& name);
+
+// Snapshot of all registered counters, sorted by name.
+std::vector<std::pair<std::string, int64_t>> CounterSnapshot();
+
+// Resets every registered counter to zero (between test cases / runs).
+void ResetCounters();
+
 }  // namespace airfair
 
 #endif  // AIRFAIR_SRC_UTIL_STATS_H_
