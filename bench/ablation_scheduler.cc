@@ -15,74 +15,89 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("ablation_scheduler");
   const ExperimentTiming timing = BenchTiming(15);
   const int reps = BenchRepetitions(3);
 
   std::printf("Ablation (a): RX airtime accounting under bidirectional TCP\n");
   PrintHeaderRule();
-  for (bool rx : {true, false}) {
-    std::vector<double> jain;
-    for (int rep = 0; rep < reps; ++rep) {
+  {
+    // Cells: rx {true, false}, sharded by the parallel runner.
+    const auto results = RunSchemeRepetitions<double>(2, reps, [&](int cell, int rep) {
       TestbedConfig config;
       config.seed = 1100 + static_cast<uint64_t>(rep);
       config.scheme = QueueScheme::kAirtimeFair;
-      config.mac_backend.rx_airtime_accounting = rx;
+      config.mac_backend.rx_airtime_accounting = cell == 0;
       TcpOptions options;
       options.bidirectional = true;
-      jain.push_back(RunTcpDownload(config, timing, options).jain_airtime);
+      return RunTcpDownload(config, timing, options).jain_airtime;
+    });
+    for (int cell = 0; cell < 2; ++cell) {
+      std::printf("  rx accounting %-8s Jain = %.3f\n", cell == 0 ? "ON" : "OFF",
+                  MedianOf(results[static_cast<size_t>(cell)]));
     }
-    std::printf("  rx accounting %-8s Jain = %.3f\n", rx ? "ON" : "OFF", MedianOf(jain));
   }
 
   std::printf("\nAblation (b): sparse-station optimisation (median sparse RTT)\n");
   PrintHeaderRule();
-  for (bool sparse : {true, false}) {
-    std::vector<double> median_rtt;
-    for (int rep = 0; rep < reps; ++rep) {
-      const SparseStationResult r =
-          RunSparseStation(1200 + static_cast<uint64_t>(rep), sparse, /*tcp_bulk=*/true,
-                           timing);
-      median_rtt.push_back(r.sparse_ping_rtt_ms.Median());
+  {
+    const auto results = RunSchemeRepetitions<double>(2, reps, [&](int cell, int rep) {
+      const SparseStationResult r = RunSparseStation(
+          1200 + static_cast<uint64_t>(rep), /*sparse=*/cell == 0, /*tcp_bulk=*/true, timing);
+      return r.sparse_ping_rtt_ms.Median();
+    });
+    for (int cell = 0; cell < 2; ++cell) {
+      std::printf("  optimisation %-8s median RTT = %.2f ms\n", cell == 0 ? "ON" : "OFF",
+                  MedianOf(results[static_cast<size_t>(cell)]));
     }
-    std::printf("  optimisation %-8s median RTT = %.2f ms\n", sparse ? "ON" : "OFF",
-                MedianOf(median_rtt));
   }
 
   std::printf("\nAblation (c): airtime DRR quantum sweep (UDP, airtime scheme)\n");
   PrintHeaderRule();
   std::printf("  %10s %8s %12s\n", "quantum us", "Jain", "total Mbps");
-  for (int64_t quantum : {1000, 2000, 4000, 8000, 16000}) {
-    std::vector<double> jain;
-    std::vector<double> total;
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 1300 + static_cast<uint64_t>(rep);
-      config.scheme = QueueScheme::kAirtimeFair;
-      config.mac_backend.scheduler.quantum_us = quantum;
-      const StationMeasurements m = RunUdpDownload(config, timing);
-      jain.push_back(m.jain_airtime);
-      total.push_back(m.total_throughput_mbps);
+  {
+    const std::vector<int64_t> quanta = {1000, 2000, 4000, 8000, 16000};
+    const auto results = RunSchemeRepetitions<StationMeasurements>(
+        static_cast<int>(quanta.size()), reps, [&](int cell, int rep) {
+          TestbedConfig config;
+          config.seed = 1300 + static_cast<uint64_t>(rep);
+          config.scheme = QueueScheme::kAirtimeFair;
+          config.mac_backend.scheduler.quantum_us = quanta[static_cast<size_t>(cell)];
+          return RunUdpDownload(config, timing);
+        });
+    for (size_t q = 0; q < quanta.size(); ++q) {
+      std::vector<double> jain;
+      std::vector<double> total;
+      for (const StationMeasurements& m : results[q]) {
+        jain.push_back(m.jain_airtime);
+        total.push_back(m.total_throughput_mbps);
+      }
+      std::printf("  %10lld %8.3f %12.2f\n", static_cast<long long>(quanta[q]),
+                  MedianOf(jain), MedianOf(total));
     }
-    std::printf("  %10lld %8.3f %12.2f\n", static_cast<long long>(quantum), MedianOf(jain),
-                MedianOf(total));
   }
 
   std::printf("\nAblation (d): per-station CoDel adaptation (slow station, TCP download)\n");
   PrintHeaderRule();
-  for (bool adapt : {true, false}) {
-    std::vector<double> slow_tput;
-    std::vector<double> slow_rtt;
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 1400 + static_cast<uint64_t>(rep);
-      config.scheme = QueueScheme::kAirtimeFair;
-      config.mac_backend.codel_adaptation = adapt;
-      const StationMeasurements m = RunTcpDownload(config, timing);
-      slow_tput.push_back(m.throughput_mbps[2]);
-      slow_rtt.push_back(m.ping_rtt_ms[2].Median());
+  {
+    const auto results =
+        RunSchemeRepetitions<StationMeasurements>(2, reps, [&](int cell, int rep) {
+          TestbedConfig config;
+          config.seed = 1400 + static_cast<uint64_t>(rep);
+          config.scheme = QueueScheme::kAirtimeFair;
+          config.mac_backend.codel_adaptation = cell == 0;
+          return RunTcpDownload(config, timing);
+        });
+    for (int cell = 0; cell < 2; ++cell) {
+      std::vector<double> slow_tput;
+      std::vector<double> slow_rtt;
+      for (const StationMeasurements& m : results[static_cast<size_t>(cell)]) {
+        slow_tput.push_back(m.throughput_mbps[2]);
+        slow_rtt.push_back(m.ping_rtt_ms[2].Median());
+      }
+      std::printf("  adaptation %-8s slow tput = %.2f Mbit/s, slow median RTT = %.1f ms\n",
+                  cell == 0 ? "ON" : "OFF", MedianOf(slow_tput), MedianOf(slow_rtt));
     }
-    std::printf("  adaptation %-8s slow tput = %.2f Mbit/s, slow median RTT = %.1f ms\n",
-                adapt ? "ON" : "OFF", MedianOf(slow_tput), MedianOf(slow_rtt));
   }
   return 0;
 }

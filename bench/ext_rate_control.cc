@@ -15,52 +15,75 @@
 
 using namespace airfair;
 
+namespace {
+
+struct RateControlResult {
+  int mcs[3] = {0, 0, 0};
+  double share[3] = {0, 0, 0};
+  double tput[3] = {0, 0, 0};
+  double total = 0;
+};
+
+RateControlResult RunRateControl(QueueScheme scheme) {
+  TestbedConfig config;
+  config.seed = 1500;
+  config.scheme = scheme;
+  config.stations = {AutoRateStation("near", 35.0), AutoRateStation("mid", 25.0),
+                     AutoRateStation("far", 8.0)};
+  Testbed tb(config);
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<UdpSource>> sources;
+  for (int i = 0; i < 3; ++i) {
+    sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), 6001));
+    UdpSource::Config src;
+    src.rate_bps = 60e6;
+    sources.push_back(
+        std::make_unique<UdpSource>(tb.server_host(), tb.station_node(i), 6001, src));
+    sources.back()->Start();
+  }
+  // Let Minstrel converge before measuring.
+  tb.sim().RunFor(TimeUs::FromSeconds(5));
+  tb.StartMeasurement();
+  for (auto& sink : sinks) {
+    sink->StartMeasuring(tb.sim().now());
+  }
+  const TimeUs measure = TimeUs::FromSeconds(15);
+  tb.sim().RunFor(measure);
+
+  RateControlResult result;
+  const auto shares = tb.AirtimeShares();
+  for (int i = 0; i < 3; ++i) {
+    result.mcs[i] = tb.rate_control(i)->BestMcs();
+    result.share[i] = shares[static_cast<size_t>(i)];
+    result.tput[i] = static_cast<double>(sinks[static_cast<size_t>(i)]->measured_bytes()) * 8 /
+                     measure.ToSeconds() / 1e6;
+    result.total += result.tput[i];
+  }
+  return result;
+}
+
+}  // namespace
+
 int main() {
+  BenchReporter reporter("ext_rate_control");
   std::printf("Extension: airtime fairness under dynamic (Minstrel-style) rate control\n");
   std::printf("Stations at 35 / 25 / 8 dB SNR, saturating downstream UDP\n");
   PrintHeaderRule();
   std::printf("%-10s | %-17s | %-26s | %-23s | %s\n", "scheme", "final MCS", "airtime share",
               "throughput Mbps", "total");
 
-  for (QueueScheme scheme : AllSchemes()) {
-    TestbedConfig config;
-    config.seed = 1500;
-    config.scheme = scheme;
-    config.stations = {AutoRateStation("near", 35.0), AutoRateStation("mid", 25.0),
-                       AutoRateStation("far", 8.0)};
-    Testbed tb(config);
-    std::vector<std::unique_ptr<UdpSink>> sinks;
-    std::vector<std::unique_ptr<UdpSource>> sources;
-    for (int i = 0; i < 3; ++i) {
-      sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), 6001));
-      UdpSource::Config src;
-      src.rate_bps = 60e6;
-      sources.push_back(
-          std::make_unique<UdpSource>(tb.server_host(), tb.station_node(i), 6001, src));
-      sources.back()->Start();
-    }
-    // Let Minstrel converge before measuring.
-    tb.sim().RunFor(TimeUs::FromSeconds(5));
-    tb.StartMeasurement();
-    for (auto& sink : sinks) {
-      sink->StartMeasuring(tb.sim().now());
-    }
-    const TimeUs measure = TimeUs::FromSeconds(15);
-    tb.sim().RunFor(measure);
+  const std::vector<QueueScheme>& schemes = AllSchemes();
+  // One cell per scheme, single repetition each, sharded by the parallel runner.
+  const auto results = RunSchemeRepetitions<RateControlResult>(
+      static_cast<int>(schemes.size()), 1,
+      [&](int cell, int /*rep*/) { return RunRateControl(schemes[static_cast<size_t>(cell)]); });
 
-    const auto shares = tb.AirtimeShares();
-    double total = 0;
-    double tput[3];
-    for (int i = 0; i < 3; ++i) {
-      tput[i] = static_cast<double>(sinks[static_cast<size_t>(i)]->measured_bytes()) * 8 /
-                measure.ToSeconds() / 1e6;
-      total += tput[i];
-    }
-    std::printf("%-10s |  %2d / %2d / %2d     |  %5.1f%% %5.1f%% %5.1f%%      | %6.1f %6.1f %6.1f  | %5.1f\n",
-                SchemeName(scheme), tb.rate_control(0)->BestMcs(),
-                tb.rate_control(1)->BestMcs(), tb.rate_control(2)->BestMcs(),
-                100 * shares[0], 100 * shares[1], 100 * shares[2], tput[0], tput[1], tput[2],
-                total);
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const RateControlResult& r = results[s][0];
+    std::printf(
+        "%-10s |  %2d / %2d / %2d     |  %5.1f%% %5.1f%% %5.1f%%      | %6.1f %6.1f %6.1f  | %5.1f\n",
+        SchemeName(schemes[s]), r.mcs[0], r.mcs[1], r.mcs[2], 100 * r.share[0],
+        100 * r.share[1], 100 * r.share[2], r.tput[0], r.tput[1], r.tput[2], r.total);
   }
   std::printf("\nExpected: near/mid converge to high MCS, far to MCS0-2; the far station\n");
   std::printf("hogs airtime under FIFO/FQ-CoDel and is held to one third under Airtime.\n");

@@ -12,30 +12,30 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig04_latency_tcp");
   std::printf("Figure 1/4: ping latency under simultaneous TCP download (ms quantiles)\n");
   PrintHeaderRule();
   const ExperimentTiming timing = BenchTiming(25);
   const int reps = BenchRepetitions(3);
+  const std::vector<QueueScheme>& schemes = AllSchemes();
 
-  for (QueueScheme scheme : AllSchemes()) {
+  const auto results = RunSchemeRepetitions<StationMeasurements>(
+      static_cast<int>(schemes.size()), reps, [&](int s, int rep) {
+        TestbedConfig config;
+        config.seed = 200 + static_cast<uint64_t>(rep);
+        config.scheme = schemes[static_cast<size_t>(s)];
+        return RunTcpDownload(config, timing);
+      });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
     SampleSet fast;
     SampleSet slow;
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 200 + static_cast<uint64_t>(rep);
-      config.scheme = scheme;
-      const StationMeasurements m = RunTcpDownload(config, timing);
-      for (double v : m.ping_rtt_ms[0].samples()) {
-        fast.Add(v);
-      }
-      for (double v : m.ping_rtt_ms[1].samples()) {
-        fast.Add(v);
-      }
-      for (double v : m.ping_rtt_ms[2].samples()) {
-        slow.Add(v);
-      }
+    for (const StationMeasurements& m : results[s]) {
+      fast.Merge(m.ping_rtt_ms[0]);
+      fast.Merge(m.ping_rtt_ms[1]);
+      slow.Merge(m.ping_rtt_ms[2]);
     }
-    std::printf("%s\n", SchemeName(scheme));
+    std::printf("%s\n", SchemeName(schemes[s]));
     PrintCdf("fast stations", fast);
     PrintCdf("slow station", slow);
   }

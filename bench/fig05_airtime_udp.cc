@@ -12,26 +12,32 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig05_airtime_udp");
   std::printf("Figure 5: airtime share, one-way UDP (2 fast + 1 slow station)\n");
   PrintHeaderRule();
   std::printf("%-10s %10s %10s %10s %8s\n", "scheme", "fast-1", "fast-2", "slow", "Jain");
   const ExperimentTiming timing = BenchTiming(20);
   const int reps = BenchRepetitions(3);
+  const std::vector<QueueScheme>& schemes = AllSchemes();
 
-  for (QueueScheme scheme : AllSchemes()) {
+  const auto results = RunSchemeRepetitions<StationMeasurements>(
+      static_cast<int>(schemes.size()), reps, [&](int s, int rep) {
+        TestbedConfig config;
+        config.seed = 300 + static_cast<uint64_t>(rep);
+        config.scheme = schemes[static_cast<size_t>(s)];
+        return RunUdpDownload(config, timing);
+      });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
     std::vector<double> shares[3];
     std::vector<double> jain;
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 300 + static_cast<uint64_t>(rep);
-      config.scheme = scheme;
-      const StationMeasurements m = RunUdpDownload(config, timing);
+    for (const StationMeasurements& m : results[s]) {
       for (int i = 0; i < 3; ++i) {
         shares[i].push_back(m.airtime_share[static_cast<size_t>(i)]);
       }
       jain.push_back(m.jain_airtime);
     }
-    std::printf("%-10s %9.1f%% %9.1f%% %9.1f%% %8.3f\n", SchemeName(scheme),
+    std::printf("%-10s %9.1f%% %9.1f%% %9.1f%% %8.3f\n", SchemeName(schemes[s]),
                 100 * MedianOf(shares[0]), 100 * MedianOf(shares[1]),
                 100 * MedianOf(shares[2]), MedianOf(jain));
   }

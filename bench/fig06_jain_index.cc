@@ -14,44 +14,45 @@ using namespace airfair;
 
 namespace {
 
-double MedianJainUdp(QueueScheme scheme, const ExperimentTiming& timing, int reps) {
-  std::vector<double> jain;
-  for (int rep = 0; rep < reps; ++rep) {
-    TestbedConfig config;
+double JainForCell(QueueScheme scheme, int traffic, int rep,
+                   const ExperimentTiming& timing) {
+  // traffic: 0 = UDP, 1 = TCP download, 2 = TCP bidirectional.
+  TestbedConfig config;
+  config.scheme = scheme;
+  if (traffic == 0) {
     config.seed = 400 + static_cast<uint64_t>(rep);
-    config.scheme = scheme;
-    jain.push_back(RunUdpDownload(config, timing).jain_airtime);
+    return RunUdpDownload(config, timing).jain_airtime;
   }
-  return MedianOf(jain);
-}
-
-double MedianJainTcp(QueueScheme scheme, bool bidirectional, const ExperimentTiming& timing,
-                     int reps) {
-  std::vector<double> jain;
-  for (int rep = 0; rep < reps; ++rep) {
-    TestbedConfig config;
-    config.seed = 420 + static_cast<uint64_t>(rep);
-    config.scheme = scheme;
-    TcpOptions options;
-    options.bidirectional = bidirectional;
-    jain.push_back(RunTcpDownload(config, timing, options).jain_airtime);
-  }
-  return MedianOf(jain);
+  config.seed = 420 + static_cast<uint64_t>(rep);
+  TcpOptions options;
+  options.bidirectional = traffic == 2;
+  return RunTcpDownload(config, timing, options).jain_airtime;
 }
 
 }  // namespace
 
 int main() {
+  BenchReporter reporter("fig06_jain_index");
   std::printf("Figure 6: Jain's airtime fairness index (3-station testbed)\n");
   PrintHeaderRule();
   std::printf("%-10s %8s %8s %10s\n", "scheme", "UDP", "TCP dl", "TCP bidir");
   const ExperimentTiming timing = BenchTiming(25);
   const int reps = BenchRepetitions(3);
-  for (QueueScheme scheme : AllSchemes()) {
-    const double udp = MedianJainUdp(scheme, timing, reps);
-    const double tcp = MedianJainTcp(scheme, false, timing, reps);
-    const double bidir = MedianJainTcp(scheme, true, timing, reps);
-    std::printf("%-10s %8.3f %8.3f %10.3f\n", SchemeName(scheme), udp, tcp, bidir);
+  const std::vector<QueueScheme>& schemes = AllSchemes();
+  constexpr int kTraffics = 3;
+
+  // Shard the full (scheme, traffic, rep) grid: cell = scheme * 3 + traffic.
+  const auto results = RunSchemeRepetitions<double>(
+      static_cast<int>(schemes.size()) * kTraffics, reps, [&](int cell, int rep) {
+        const QueueScheme scheme = schemes[static_cast<size_t>(cell / kTraffics)];
+        return JainForCell(scheme, cell % kTraffics, rep, timing);
+      });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const double udp = MedianOf(results[s * kTraffics + 0]);
+    const double tcp = MedianOf(results[s * kTraffics + 1]);
+    const double bidir = MedianOf(results[s * kTraffics + 2]);
+    std::printf("%-10s %8.3f %8.3f %10.3f\n", SchemeName(schemes[s]), udp, tcp, bidir);
   }
   std::printf("\nPaper (TCP dl): FIFO ~0.66, FQ-CoDel ~0.55, FQ-MAC ~0.73, Airtime ~0.97.\n");
   return 0;

@@ -11,19 +11,26 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig07_tcp_throughput");
   std::printf("Figure 7: TCP download throughput per station (Mbit/s)\n");
   PrintHeaderRule();
   std::printf("%-10s %8s %8s %8s %8s %8s\n", "scheme", "fast-1", "fast-2", "slow", "avg",
               "total");
   const ExperimentTiming timing = BenchTiming(25);
   const int reps = BenchRepetitions(3);
-  for (QueueScheme scheme : AllSchemes()) {
+  const std::vector<QueueScheme>& schemes = AllSchemes();
+
+  const auto results = RunSchemeRepetitions<StationMeasurements>(
+      static_cast<int>(schemes.size()), reps, [&](int s, int rep) {
+        TestbedConfig config;
+        config.seed = 500 + static_cast<uint64_t>(rep);
+        config.scheme = schemes[static_cast<size_t>(s)];
+        return RunTcpDownload(config, timing);
+      });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
     std::vector<double> tput[3];
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 500 + static_cast<uint64_t>(rep);
-      config.scheme = scheme;
-      const StationMeasurements m = RunTcpDownload(config, timing);
+    for (const StationMeasurements& m : results[s]) {
       for (int i = 0; i < 3; ++i) {
         tput[i].push_back(m.throughput_mbps[static_cast<size_t>(i)]);
       }
@@ -31,7 +38,7 @@ int main() {
     const double f1 = MedianOf(tput[0]);
     const double f2 = MedianOf(tput[1]);
     const double sl = MedianOf(tput[2]);
-    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n", SchemeName(scheme), f1, f2, sl,
+    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n", SchemeName(schemes[s]), f1, f2, sl,
                 (f1 + f2 + sl) / 3, f1 + f2 + sl);
   }
   std::printf("\nPaper: FIFO ~9/9/5; FQ-CoDel ~19/19/2; FQ-MAC ~22/22/3; Airtime ~32/32/2.\n");

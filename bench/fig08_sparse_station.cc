@@ -12,26 +12,30 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig08_sparse_station");
   std::printf("Figure 8: sparse-station optimisation (airtime scheme, ping-only station)\n");
   PrintHeaderRule();
   const ExperimentTiming timing = BenchTiming(20);
   const int reps = BenchRepetitions(3);
 
-  for (bool tcp : {false, true}) {
-    for (bool enabled : {true, false}) {
-      SampleSet rtt;
-      for (int rep = 0; rep < reps; ++rep) {
-        const SparseStationResult r =
-            RunSparseStation(600 + static_cast<uint64_t>(rep), enabled, tcp, timing);
-        for (double v : r.sparse_ping_rtt_ms.samples()) {
-          rtt.Add(v);
-        }
-      }
-      char label[64];
-      std::snprintf(label, sizeof(label), "%s (%s)", enabled ? "Enabled" : "Disabled",
-                    tcp ? "TCP" : "UDP");
-      PrintCdf(label, rtt);
+  // Cell = (tcp, enabled) pair, in print order.
+  const bool kTcp[] = {false, false, true, true};
+  const bool kEnabled[] = {true, false, true, false};
+  const auto results = RunSchemeRepetitions<SparseStationResult>(
+      4, reps, [&](int cell, int rep) {
+        return RunSparseStation(600 + static_cast<uint64_t>(rep), kEnabled[cell],
+                                kTcp[cell], timing);
+      });
+
+  for (int cell = 0; cell < 4; ++cell) {
+    SampleSet rtt;
+    for (const SparseStationResult& r : results[static_cast<size_t>(cell)]) {
+      rtt.Merge(r.sparse_ping_rtt_ms);
     }
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s (%s)",
+                  kEnabled[cell] ? "Enabled" : "Disabled", kTcp[cell] ? "TCP" : "UDP");
+    PrintCdf(label, rtt);
   }
   std::printf("\nPaper: 10-15%% median reduction when enabled, for both traffic types.\n");
   return 0;

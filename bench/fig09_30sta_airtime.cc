@@ -13,6 +13,7 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig09_30sta_airtime");
   std::printf("Figure 9 / Sec 4.1.5: 30-station testbed, TCP download\n");
   PrintHeaderRule();
   std::printf("%-10s %12s %10s %12s %12s %10s\n", "scheme", "slow share", "Jain",
@@ -26,18 +27,26 @@ int main() {
   options.ping.assign(30, false);
   options.ping[29] = true;
 
+  const std::vector<QueueScheme> schemes = {QueueScheme::kFqCodel, QueueScheme::kFqMac,
+                                            QueueScheme::kAirtimeFair};
+  const auto results = RunSchemeRepetitions<StationMeasurements>(
+      static_cast<int>(schemes.size()), reps, [&](int s, int rep) {
+        return RunTcpDownload(
+            ThirtyStationConfig(schemes[static_cast<size_t>(s)],
+                                700 + static_cast<uint64_t>(rep)),
+            timing, options);
+      });
+
   double fq_total = 0;
   double air_total = 0;
-  for (QueueScheme scheme :
-       {QueueScheme::kFqCodel, QueueScheme::kFqMac, QueueScheme::kAirtimeFair}) {
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const QueueScheme scheme = schemes[s];
     std::vector<double> slow_share;
     std::vector<double> jain;
     std::vector<double> fast_med;
     std::vector<double> slow_tput;
     std::vector<double> total;
-    for (int rep = 0; rep < reps; ++rep) {
-      const StationMeasurements m = RunTcpDownload(
-          ThirtyStationConfig(scheme, 700 + static_cast<uint64_t>(rep)), timing, options);
+    for (const StationMeasurements& m : results[s]) {
       slow_share.push_back(m.airtime_share[28]);
       jain.push_back(m.jain_airtime);
       std::vector<double> fast(m.throughput_mbps.begin(), m.throughput_mbps.begin() + 28);

@@ -13,6 +13,7 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("fig10_30sta_latency");
   std::printf("Figure 10: 30-station testbed ping latency (ms quantiles)\n");
   PrintHeaderRule();
   const ExperimentTiming timing = BenchTiming(20);
@@ -26,25 +27,26 @@ int main() {
   options.ping[28] = true;  // The 1 Mbit/s station.
   options.ping[29] = true;  // The sparse station.
 
-  for (QueueScheme scheme :
-       {QueueScheme::kFqCodel, QueueScheme::kFqMac, QueueScheme::kAirtimeFair}) {
+  const std::vector<QueueScheme> schemes = {QueueScheme::kFqCodel, QueueScheme::kFqMac,
+                                            QueueScheme::kAirtimeFair};
+  const auto results = RunSchemeRepetitions<StationMeasurements>(
+      static_cast<int>(schemes.size()), reps, [&](int s, int rep) {
+        return RunTcpDownload(
+            ThirtyStationConfig(schemes[static_cast<size_t>(s)],
+                                800 + static_cast<uint64_t>(rep)),
+            timing, options);
+      });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
     SampleSet fast;
     SampleSet slow;
     SampleSet sparse;
-    for (int rep = 0; rep < reps; ++rep) {
-      const StationMeasurements m = RunTcpDownload(
-          ThirtyStationConfig(scheme, 800 + static_cast<uint64_t>(rep)), timing, options);
-      for (double v : m.ping_rtt_ms[0].samples()) {
-        fast.Add(v);
-      }
-      for (double v : m.ping_rtt_ms[28].samples()) {
-        slow.Add(v);
-      }
-      for (double v : m.ping_rtt_ms[29].samples()) {
-        sparse.Add(v);
-      }
+    for (const StationMeasurements& m : results[s]) {
+      fast.Merge(m.ping_rtt_ms[0]);
+      slow.Merge(m.ping_rtt_ms[28]);
+      sparse.Merge(m.ping_rtt_ms[29]);
     }
-    std::printf("%s\n", SchemeName(scheme));
+    std::printf("%s\n", SchemeName(schemes[s]));
     PrintCdf("fast station", fast);
     PrintCdf("slow (1 Mbit/s) station", slow);
     PrintCdf("sparse station", sparse);

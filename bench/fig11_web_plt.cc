@@ -15,24 +15,33 @@ using namespace airfair;
 
 namespace {
 
-double MedianPlt(QueueScheme scheme, const WebPage& page, bool slow_client, int reps,
-                 int* fetches) {
+struct PltCell {
+  double median_plt = 0;
+  int fetches = 0;
+};
+
+PltCell MedianPlt(QueueScheme scheme, const WebPage& page, bool slow_client, int reps) {
+  // Repetitions of one table cell, sharded by the parallel runner.
+  const auto results = RunRepetitions<WebResult>(reps, [&](int rep) {
+    return RunWeb(scheme, 1000 + static_cast<uint64_t>(rep), page, slow_client,
+                  TimeUs::FromSeconds(120), 3);
+  });
+  PltCell cell;
   std::vector<double> plt;
-  *fetches = 0;
-  for (int rep = 0; rep < reps; ++rep) {
-    const WebResult r = RunWeb(scheme, 1000 + static_cast<uint64_t>(rep), page, slow_client,
-                               TimeUs::FromSeconds(120), 3);
+  for (const WebResult& r : results) {
     if (r.completed_fetches > 0) {
       plt.push_back(r.mean_plt_s);
-      *fetches += r.completed_fetches;
+      cell.fetches += r.completed_fetches;
     }
   }
-  return MedianOf(plt);
+  cell.median_plt = MedianOf(plt);
+  return cell;
 }
 
 }  // namespace
 
 int main() {
+  BenchReporter reporter("fig11_web_plt");
   std::printf("Figure 11: mean page-load time (seconds)\n");
   PrintHeaderRule();
   const int reps = BenchRepetitions(3);
@@ -40,20 +49,18 @@ int main() {
   std::printf("Fast station browsing, slow station bulk (the paper's figure):\n");
   std::printf("%-10s %12s %12s\n", "scheme", "small page", "large page");
   for (QueueScheme scheme : AllSchemes()) {
-    int fetches_small = 0;
-    int fetches_large = 0;
-    const double small = MedianPlt(scheme, WebPage::Small(), false, reps, &fetches_small);
-    const double large = MedianPlt(scheme, WebPage::Large(), false, reps, &fetches_large);
-    std::printf("%-10s %12.3f %12.3f   (fetches: %d/%d)\n", SchemeName(scheme), small, large,
-                fetches_small, fetches_large);
+    const PltCell small = MedianPlt(scheme, WebPage::Small(), false, reps);
+    const PltCell large = MedianPlt(scheme, WebPage::Large(), false, reps);
+    std::printf("%-10s %12.3f %12.3f   (fetches: %d/%d)\n", SchemeName(scheme),
+                small.median_plt, large.median_plt, small.fetches, large.fetches);
   }
 
   std::printf("\nSlow station browsing, fast stations bulk (online-appendix variant):\n");
   std::printf("%-10s %12s\n", "scheme", "small page");
   for (QueueScheme scheme : AllSchemes()) {
-    int fetches = 0;
-    const double small = MedianPlt(scheme, WebPage::Small(), true, reps, &fetches);
-    std::printf("%-10s %12.3f   (fetches: %d)\n", SchemeName(scheme), small, fetches);
+    const PltCell small = MedianPlt(scheme, WebPage::Small(), true, reps);
+    std::printf("%-10s %12.3f   (fetches: %d)\n", SchemeName(scheme), small.median_plt,
+                small.fetches);
   }
   std::printf("\nPaper shape: monotone decrease toward Airtime; slow-station browsing\n");
   std::printf("pays 5-10%% more under Airtime (it is being throttled to its share).\n");

@@ -10,6 +10,8 @@
 #include "src/core/airtime_scheduler.h"
 #include "src/core/mac_queues.h"
 #include "src/mac/airtime.h"
+#include "src/net/packet_pool.h"
+#include "src/sim/event_loop.h"
 #include "src/util/flow_hash.h"
 #include "tests/test_util.h"
 
@@ -96,6 +98,44 @@ void BM_SchedulerRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SchedulerRound)->Arg(3)->Arg(30)->Arg(300);
+
+// Event-loop schedule+dispatch cycle: the fire-and-forget path (PostAt, no
+// cancellation token) vs the handle-keeping path (ScheduleAt + recycled
+// token). Both should be allocation-free at steady state; the difference is
+// the token bookkeeping.
+void BM_EventLoopScheduleFire(benchmark::State& state) {
+  const bool keep_handle = state.range(0) != 0;
+  EventLoop loop;
+  int64_t fired = 0;
+  EventHandle handle;
+  for (auto _ : state) {
+    if (keep_handle) {
+      handle = loop.ScheduleAfter(TimeUs(10), [&fired] { ++fired; });
+    } else {
+      loop.PostAfter(TimeUs(10), [&fired] { ++fired; });
+    }
+    loop.RunOne();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(keep_handle ? "handle" : "detached");
+}
+BENCHMARK(BM_EventLoopScheduleFire)->Arg(0)->Arg(1);
+
+void BM_PacketPoolAllocFree(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  PacketPool pool;
+  // Warm the free list so the measurement sees the steady state.
+  { auto warm = pool.Allocate(); }
+  for (auto _ : state) {
+    PacketPtr p = pooled ? pool.Allocate() : NewHeapPacket();
+    p->size_bytes = 1500;
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "pool" : "heap");
+}
+BENCHMARK(BM_PacketPoolAllocFree)->Arg(1)->Arg(0);
 
 }  // namespace
 }  // namespace airfair

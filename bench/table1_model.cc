@@ -34,6 +34,7 @@ void PrintSection(const char* title, const std::vector<ModelStation>& stations,
 }  // namespace
 
 int main() {
+  BenchReporter reporter("table1_model");
   std::printf("Table 1: analytical model vs simulator (saturating downstream UDP)\n");
   std::printf("Paper values -- baseline: R(i)=9.7/11.4/5.1 Exp=7.1/6.3/5.3, total 26.4/18.7\n");
   std::printf("               airtime:  R(i)=42.2/42.3/2.2 Exp=38.8/35.6/2.0, total 86.8/76.4\n");
@@ -42,19 +43,22 @@ int main() {
   const ExperimentTiming timing = BenchTiming(20);
   const int reps = BenchRepetitions(3);
 
+  // Two cells (baseline, airtime) x reps, sharded by the parallel runner.
+  const auto all = RunSchemeRepetitions<StationMeasurements>(2, reps, [&](int cell, int rep) {
+    TestbedConfig config;
+    config.seed = 100 + static_cast<uint64_t>(rep);
+    config.scheme = cell == 1 ? QueueScheme::kAirtimeFair : QueueScheme::kFifo;
+    return RunUdpDownload(config, timing);
+  });
+
   for (bool fairness : {false, true}) {
     // Median over repetitions of per-rep means, like the paper.
     std::vector<std::vector<double>> tput(3);
     std::vector<std::vector<double>> aggr(3);
-    StationMeasurements last;
-    for (int rep = 0; rep < reps; ++rep) {
-      TestbedConfig config;
-      config.seed = 100 + static_cast<uint64_t>(rep);
-      config.scheme = fairness ? QueueScheme::kAirtimeFair : QueueScheme::kFifo;
-      last = RunUdpDownload(config, timing);
+    for (const StationMeasurements& m : all[fairness ? 1 : 0]) {
       for (int i = 0; i < 3; ++i) {
-        tput[static_cast<size_t>(i)].push_back(last.throughput_mbps[static_cast<size_t>(i)]);
-        aggr[static_cast<size_t>(i)].push_back(last.mean_aggregation[static_cast<size_t>(i)]);
+        tput[static_cast<size_t>(i)].push_back(m.throughput_mbps[static_cast<size_t>(i)]);
+        aggr[static_cast<size_t>(i)].push_back(m.mean_aggregation[static_cast<size_t>(i)]);
       }
     }
     StationMeasurements median;

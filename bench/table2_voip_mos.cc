@@ -14,6 +14,7 @@
 using namespace airfair;
 
 int main() {
+  BenchReporter reporter("table2_voip_mos");
   std::printf("Table 2: VoIP MOS and total throughput (VoIP+bulk to slow station,\n");
   std::printf("bulk to three fast stations)\n");
   PrintHeaderRule();
@@ -22,27 +23,36 @@ int main() {
               "Thrp");
   const ExperimentTiming timing = BenchTiming(20);
   const int reps = BenchRepetitions(3);
+  const std::vector<QueueScheme>& schemes = AllSchemes();
 
-  for (QueueScheme scheme : AllSchemes()) {
-    for (bool vo : {true, false}) {
-      double results[2][2];  // [delay][mos/thrp]
-      int column = 0;
-      for (TimeUs base : {TimeUs::FromMilliseconds(5), TimeUs::FromMilliseconds(50)}) {
+  // Cell = (scheme, vo, delay): scheme-major, then vo {true,false}, then
+  // delay {5 ms, 50 ms} — matching print order.
+  const TimeUs kDelays[] = {TimeUs::FromMilliseconds(5), TimeUs::FromMilliseconds(50)};
+  const int cells = static_cast<int>(schemes.size()) * 2 * 2;
+  const auto results = RunSchemeRepetitions<VoipResult>(cells, reps, [&](int cell, int rep) {
+    const QueueScheme scheme = schemes[static_cast<size_t>(cell / 4)];
+    const bool vo = ((cell / 2) % 2) == 0;
+    const TimeUs base = kDelays[cell % 2];
+    return RunVoip(scheme, 900 + static_cast<uint64_t>(rep), vo, base, timing);
+  });
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    for (int vo_idx = 0; vo_idx < 2; ++vo_idx) {
+      const bool vo = vo_idx == 0;
+      double table[2][2];  // [delay][mos/thrp]
+      for (int d = 0; d < 2; ++d) {
+        const size_t cell = s * 4 + static_cast<size_t>(vo_idx) * 2 + static_cast<size_t>(d);
         std::vector<double> mos;
         std::vector<double> thrp;
-        for (int rep = 0; rep < reps; ++rep) {
-          const VoipResult r =
-              RunVoip(scheme, 900 + static_cast<uint64_t>(rep), vo, base, timing);
+        for (const VoipResult& r : results[cell]) {
           mos.push_back(r.mos);
           thrp.push_back(r.total_throughput_mbps);
         }
-        results[column][0] = MedianOf(mos);
-        results[column][1] = MedianOf(thrp);
-        ++column;
+        table[d][0] = MedianOf(mos);
+        table[d][1] = MedianOf(thrp);
       }
-      std::printf("%-10s %-4s | %8.2f %9.1f | %8.2f %9.1f\n", SchemeName(scheme),
-                  vo ? "VO" : "BE", results[0][0], results[0][1], results[1][0],
-                  results[1][1]);
+      std::printf("%-10s %-4s | %8.2f %9.1f | %8.2f %9.1f\n", SchemeName(schemes[s]),
+                  vo ? "VO" : "BE", table[0][0], table[0][1], table[1][0], table[1][1]);
     }
   }
   std::printf("\nPaper: FIFO VO 4.17/27.5 BE 1.00/28.3; Airtime VO 4.41/56.3 BE 4.39/57.0\n");

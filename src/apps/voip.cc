@@ -27,7 +27,7 @@ void VoipSource::SendNext() {
   if (!running_) {
     return;
   }
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = config_.packet_bytes;
   packet->type = PacketType::kUdp;
   packet->flow = flow_;

@@ -71,7 +71,7 @@ void WebClient::Fetch(const WebPage& page, std::function<void(TimeUs)> done) {
   conns_.resize(kParallelConnections);
 
   // Step 1: DNS lookup (modelled as one small request/response exchange).
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = kDnsPacketBytes;
   packet->type = PacketType::kIcmpEchoRequest;
   packet->flow = FlowKey{host_->node_id(), server_node_, dns_port_, 0, /*protocol=*/1};

@@ -107,7 +107,10 @@ void WifiMedium::ResolveGrant(int defer_slots) {
   // contention mid-grant.
   busy_ = true;
   // Collect all contenders whose counters expire at this round's minimum.
-  std::vector<int> winner_ids;
+  // Member scratch vector: capacity persists across grants, so steady-state
+  // rounds do not allocate.
+  std::vector<int>& winner_ids = winner_scratch_;
+  winner_ids.clear();
   for (size_t i = 0; i < contenders_.size(); ++i) {
     Contender& c = contenders_[i];
     if (!c.backlogged) {
@@ -129,8 +132,10 @@ void WifiMedium::ResolveGrant(int defer_slots) {
     c.backoff_slots = std::max(0, c.backoff_slots - consumed);
   }
 
-  // Ask the winners to build their transmissions.
-  std::vector<std::pair<int, TxDescriptor>> transmissions;
+  // Ask the winners to build their transmissions. The vector is recycled
+  // through tx_scratch_ (capacity returns after CompleteTransmissions).
+  std::vector<std::pair<int, TxDescriptor>> transmissions = std::move(tx_scratch_);
+  transmissions.clear();
   for (int id : winner_ids) {
     Contender& c = contenders_[static_cast<size_t>(id)];
     TxDescriptor tx = c.client->BuildTransmission();
@@ -142,6 +147,7 @@ void WifiMedium::ResolveGrant(int defer_slots) {
     transmissions.emplace_back(id, std::move(tx));
   }
   if (transmissions.empty()) {
+    tx_scratch_ = std::move(transmissions);  // Keep the capacity.
     busy_ = false;
     RestartContention();
     return;
@@ -158,13 +164,14 @@ void WifiMedium::ResolveGrant(int defer_slots) {
   }
 
   busy_time_ += occupancy;
-  // Move the descriptors into the completion event (shared_ptr because
-  // std::function requires copyable captures).
-  auto pending =
-      std::make_shared<std::vector<std::pair<int, TxDescriptor>>>(std::move(transmissions));
-  sim_->After(occupancy, [this, pending, collision] {
-    CompleteTransmissions(std::move(*pending), collision);
-  });
+  // Move the descriptors straight into the completion event: EventFn takes
+  // move-only captures (no shared_ptr holder), and the closure — a pointer,
+  // a vector, a bool — fits EventFn's inline buffer, so scheduling the
+  // completion allocates nothing.
+  sim_->PostAfter(occupancy,
+                  [this, pending = std::move(transmissions), collision]() mutable {
+                    CompleteTransmissions(std::move(pending), collision);
+                  });
 }
 
 void WifiMedium::CompleteTransmissions(std::vector<std::pair<int, TxDescriptor>> transmissions,
@@ -207,6 +214,10 @@ void WifiMedium::CompleteTransmissions(std::vector<std::pair<int, TxDescriptor>>
     c.client->OnTxComplete(std::move(tx), collision);
     c.backlogged = c.client->HasPending();
   }
+  // Return the (now element-free) vector's capacity to the scratch slot so
+  // the next grant's ResolveGrant reuses it.
+  transmissions.clear();
+  tx_scratch_ = std::move(transmissions);
   busy_ = false;
   RestartContention();
 }

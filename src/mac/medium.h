@@ -120,6 +120,10 @@ class WifiMedium {
   std::vector<TimeUs> airtime_by_station_;
 
   bool busy_ = false;
+  // Scratch buffers recycled across contention rounds (steady state: zero
+  // allocations per grant).
+  std::vector<int> winner_scratch_;
+  std::vector<std::pair<int, TxDescriptor>> tx_scratch_;
   EventHandle grant_event_;
   TimeUs busy_time_ = TimeUs::Zero();
   int64_t transmissions_ = 0;

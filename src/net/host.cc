@@ -4,8 +4,15 @@
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/stats.h"
 
 namespace airfair {
+
+Host::~Host() {
+  if (heap_packets_ > 0) {
+    GetCounter("packets.heap").Increment(heap_packets_);
+  }
+}
 
 void Host::Send(PacketPtr packet) {
   assert(egress_ && "host egress not wired");
@@ -17,17 +24,17 @@ void Host::Send(PacketPtr packet) {
 
 void Host::Deliver(PacketPtr packet) {
   if (packet->type == PacketType::kIcmpEchoRequest) {
-    // Reflect: swap src/dst, keep echo id and size, preserve QoS marking and
-    // the original creation timestamp so the sender measures full RTT.
-    auto reply = std::make_unique<Packet>();
-    reply->size_bytes = packet->size_bytes;
-    reply->type = PacketType::kIcmpEchoReply;
-    reply->flow = FlowKey{packet->flow.dst_node, packet->flow.src_node, packet->flow.dst_port,
-                          packet->flow.src_port, /*protocol=*/1};
-    reply->tid = packet->tid;
-    reply->echo_id = packet->echo_id;
-    reply->created = packet->created;
-    Send(std::move(reply));
+    // Reflect the request packet in place: swap src/dst, keep echo id and
+    // size, preserve QoS marking and the original creation timestamp so the
+    // sender measures full RTT. Reusing the buffer avoids an allocation per
+    // echo and keeps the reply inside the request's origin pool.
+    packet->type = PacketType::kIcmpEchoReply;
+    packet->flow = FlowKey{packet->flow.dst_node, packet->flow.src_node, packet->flow.dst_port,
+                           packet->flow.src_port, /*protocol=*/1};
+    packet->flow_seq = 0;
+    packet->mac_seq = -1;                // Reassigned on the return MAC hop.
+    packet->enqueued = TimeUs::Zero();   // Restamped by the return queue.
+    Send(std::move(packet));
     return;
   }
   const auto it = ports_.find(packet->flow.dst_port);

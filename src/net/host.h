@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "src/net/packet.h"
+#include "src/net/packet_pool.h"
 #include "src/sim/simulation.h"
 
 namespace airfair {
@@ -29,11 +30,30 @@ class Host {
  public:
   Host(Simulation* sim, uint32_t node_id) : sim_(sim), node_id_(node_id) {}
 
+  // Publishes the heap-fallback packet count for the bench harness.
+  ~Host();
+
   uint32_t node_id() const { return node_id_; }
   Simulation* sim() const { return sim_; }
 
   // The topology layer installs the first hop for outgoing packets.
   void set_egress(std::function<void(PacketPtr)> egress) { egress_ = std::move(egress); }
+
+  // The scenario layer hands every host its simulation's packet pool;
+  // without one, NewPacket falls back to the heap (standalone tests).
+  void set_packet_pool(PacketPool* pool) { packet_pool_ = pool; }
+  PacketPool* packet_pool() const { return packet_pool_; }
+
+  // Allocates a packet for transmission — pooled (allocation-free in steady
+  // state) when a pool is attached, plain heap otherwise. This is the one
+  // packet-creation API traffic sources should use.
+  PacketPtr NewPacket() {
+    if (packet_pool_ != nullptr) {
+      return packet_pool_->Allocate();
+    }
+    ++heap_packets_;
+    return NewHeapPacket();
+  }
 
   // Registers `endpoint` to receive packets addressed to `port`.
   void BindPort(uint16_t port, PacketEndpoint* endpoint) { ports_[port] = endpoint; }
@@ -56,9 +76,11 @@ class Host {
   Simulation* sim_;
   uint32_t node_id_;
   std::function<void(PacketPtr)> egress_;
+  PacketPool* packet_pool_ = nullptr;
   std::unordered_map<uint16_t, PacketEndpoint*> ports_;
   uint16_t next_port_ = 40000;
   int64_t undeliverable_ = 0;
+  int64_t heap_packets_ = 0;
 };
 
 }  // namespace airfair

@@ -78,6 +78,8 @@ struct TcpHeaderInfo {
   int64_t ts_echo = 0;
 };
 
+class PacketPool;
+
 struct Packet {
   // Wire size in bytes at the IP layer (payload + IP/transport headers).
   int32_t size_bytes = 0;
@@ -106,10 +108,29 @@ struct Packet {
   TimeUs created;     // Stamped by the traffic source.
   TimeUs enqueued;    // Stamped on entry to the (last) queueing layer; CoDel input.
 
+  // Pool plumbing (see net/packet_pool.h). `origin_pool` is the arena this
+  // packet must be returned to (nullptr = plain heap packet, deleted);
+  // `pool_next` links free packets inside the pool's free list. Both are
+  // invisible to protocol code: the custom deleter reads origin_pool, the
+  // pool reads pool_next, and neither field survives a pool reset.
+  PacketPool* origin_pool = nullptr;
+  Packet* pool_next = nullptr;
+
   AccessCategory ac() const { return AcForTid(tid); }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Deleter behind PacketPtr: returns pooled packets to their origin pool and
+// deletes heap packets. Stateless, so PacketPtr stays pointer-sized.
+// Defined in packet_pool.cc (needs the PacketPool definition).
+struct PacketDeleter {
+  void operator()(Packet* packet) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Allocates a plain heap packet. Used by tests and components that run
+// without a Testbed-owned pool; the deleter handles both origins uniformly.
+inline PacketPtr NewHeapPacket() { return PacketPtr(new Packet()); }
 
 // Canonical wire sizes (bytes, at the IP layer).
 inline constexpr int32_t kFullDataPacketBytes = 1500;

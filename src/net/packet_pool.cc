@@ -1,0 +1,65 @@
+#include "src/net/packet_pool.h"
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace airfair {
+
+void PacketDeleter::operator()(Packet* packet) const noexcept {
+  if (packet == nullptr) {
+    return;
+  }
+  if (packet->origin_pool != nullptr) {
+    packet->origin_pool->Release(packet);
+  } else {
+    delete packet;
+  }
+}
+
+PacketPool::~PacketPool() {
+  AF_CHECK_EQ(outstanding_, 0)
+      << " packets still live at pool destruction (a PacketPtr outlived the "
+         "pool; check Testbed member ordering)";
+  GetCounter("packets.pool.allocated").Increment(total_allocated_);
+  GetCounter("packets.pool.recycled").Increment(total_recycled_);
+  GetCounter("packets.pool.chunks").Increment(chunks());
+}
+
+void PacketPool::AddChunk() {
+  // make_unique<Packet[]> value-initialises; fields are overwritten again on
+  // Allocate, but the free-list links must start out sane.
+  chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
+  Packet* chunk = chunks_.back().get();
+  for (int i = kChunkPackets - 1; i >= 0; --i) {
+    chunk[i].pool_next = free_head_;
+    free_head_ = &chunk[i];
+  }
+}
+
+PacketPtr PacketPool::Allocate() {
+  if (free_head_ == nullptr) {
+    AddChunk();
+  } else {
+    ++total_recycled_;
+  }
+  Packet* packet = free_head_;
+  free_head_ = packet->pool_next;
+  // Reset to a pristine packet. Assigning a value-initialised temporary
+  // keeps this in lockstep with the Packet field list (no hand-maintained
+  // reset routine to fall out of date) and costs a ~160-byte store.
+  *packet = Packet{};
+  packet->origin_pool = this;
+  ++total_allocated_;
+  ++outstanding_;
+  return PacketPtr(packet);
+}
+
+void PacketPool::Release(Packet* packet) {
+  AF_DCHECK_EQ(packet->origin_pool, this);
+  AF_DCHECK_GT(outstanding_, 0);
+  packet->pool_next = free_head_;
+  free_head_ = packet;
+  --outstanding_;
+}
+
+}  // namespace airfair

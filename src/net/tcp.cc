@@ -56,7 +56,7 @@ void TcpSocket::SendSyn() {
   if (state_ != State::kSynSent) {
     return;
   }
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = kTcpCtrlBytes;
   packet->type = PacketType::kTcpCtrl;
   packet->flow = flow_;
@@ -70,7 +70,7 @@ void TcpSocket::SendSynAck() {
   if (state_ != State::kSynReceived) {
     return;
   }
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = kTcpCtrlBytes;
   packet->type = PacketType::kTcpCtrl;
   packet->flow = flow_;
@@ -82,7 +82,7 @@ void TcpSocket::SendSynAck() {
 }
 
 void TcpSocket::SendCtrlAck() {
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = kTcpAckBytes;
   packet->type = PacketType::kTcpAck;
   packet->flow = flow_;
@@ -155,7 +155,7 @@ void TcpSocket::TrySend() {
 }
 
 void TcpSocket::SendSegment(int64_t seq, int32_t payload, bool is_retransmit) {
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->type = PacketType::kTcpData;
   packet->size_bytes = payload + kTcpHeaderBytes;
   packet->flow = flow_;
@@ -172,7 +172,7 @@ void TcpSocket::SendSegment(int64_t seq, int32_t payload, bool is_retransmit) {
 }
 
 void TcpSocket::SendAck(int64_t ts_echo) {
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = kTcpAckBytes;
   packet->type = PacketType::kTcpAck;
   packet->flow = flow_;

@@ -35,7 +35,7 @@ void UdpSource::SendNext() {
   if (!running_) {
     return;
   }
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = config_.packet_bytes;
   packet->type = PacketType::kUdp;
   packet->flow = flow_;
@@ -89,7 +89,7 @@ void PingSender::SendNext() {
   if (!running_) {
     return;
   }
-  auto packet = std::make_unique<Packet>();
+  auto packet = host_->NewPacket();
   packet->size_bytes = config_.packet_bytes;
   packet->type = PacketType::kIcmpEchoRequest;
   packet->flow = FlowKey{host_->node_id(), dst_node_, port_, /*dst_port=*/0, /*protocol=*/1};

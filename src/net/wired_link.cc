@@ -27,16 +27,17 @@ void WiredLink::Direction::StartNext() {
   const double tx_seconds = static_cast<double>(packet->size_bytes) * 8.0 / config_.rate_bps;
   const TimeUs tx_time = TimeUs::FromSeconds(tx_seconds);
   // Delivery happens after serialization + propagation; the transmitter is
-  // free again after serialization alone. The shared holder keeps the packet
-  // owned even if the simulation ends before the event fires (std::function
-  // requires copyable captures).
-  auto holder = std::make_shared<PacketPtr>(std::move(packet));
-  sim_->After(tx_time + config_.one_way_delay, [this, holder] {
-    assert(deliver_);
-    ++delivered_;
-    deliver_(std::move(*holder));
-  });
-  sim_->After(tx_time, [this] { StartNext(); });
+  // free again after serialization alone. The packet moves straight into the
+  // event closure (EventFn accepts move-only captures, so no shared_ptr
+  // holder and no heap traffic); if the simulation ends before the event
+  // fires, the closure's destructor releases the packet.
+  sim_->PostAfter(tx_time + config_.one_way_delay,
+                  [this, packet = std::move(packet)]() mutable {
+                    assert(deliver_);
+                    ++delivered_;
+                    deliver_(std::move(packet));
+                  });
+  sim_->PostAfter(tx_time, [this] { StartNext(); });
 }
 
 }  // namespace airfair

@@ -1,5 +1,6 @@
 #include "src/scenario/testbed.h"
 
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -50,9 +51,17 @@ std::vector<StationSpec> ThreeStationSetup() {
   return {FastStation("fast-1"), FastStation("fast-2"), SlowStation("slow")};
 }
 
+bool PacketPoolEnabledByDefault() {
+  const char* env = std::getenv("AIRFAIR_PACKET_POOL");
+  return env == nullptr || std::string(env) != "0";
+}
+
 Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_) {
+  PacketPool* pool = config.packet_pool ? &packet_pool_ : nullptr;
+
   // Server.
   server_host_ = std::make_unique<Host>(&sim_, server_node());
+  server_host_->set_packet_pool(pool);
 
   // Stations: table entries, per-station hosts and MACs.
   for (size_t i = 0; i < config.stations.size(); ++i) {
@@ -77,6 +86,7 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
       rate_controls_.push_back(nullptr);
     }
     station_hosts_.push_back(std::make_unique<Host>(&sim_, node));
+    station_hosts_.back()->set_packet_pool(pool);
   }
 
   ap_ = std::make_unique<AccessPoint>(&sim_, &medium_, &station_table_, ap_node());
@@ -152,7 +162,16 @@ void Testbed::BuildAuditor(const TestbedConfig& config) {
   if (!config.audit) {
     return;
   }
-  auditor_ = std::make_unique<Auditor>(&sim_.loop(), config.audit_config);
+  Auditor::Config audit_config = config.audit_config;
+  // Runtime cadence override for spot-auditing long bench runs without a
+  // Debug/audit build (the benches map AIRFAIR_BENCH_AUDIT onto this).
+  if (const char* env = std::getenv("AIRFAIR_AUDIT_INTERVAL_MS"); env != nullptr) {
+    const int ms = std::atoi(env);
+    if (ms > 0) {
+      audit_config.interval = TimeUs::FromMilliseconds(ms);
+    }
+  }
+  auditor_ = std::make_unique<Auditor>(&sim_.loop(), audit_config);
   // Failure messages gain simulated-timestamp context while this testbed is
   // alive (cleared in the destructor).
   EventLoop* loop = &sim_.loop();

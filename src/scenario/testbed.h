@@ -25,6 +25,7 @@
 #include "src/mac/station.h"
 #include "src/mac/station_table.h"
 #include "src/net/host.h"
+#include "src/net/packet_pool.h"
 #include "src/net/wired_link.h"
 #include "src/sim/audit.h"
 #include "src/sim/simulation.h"
@@ -64,6 +65,9 @@ StationSpec LegacyStation(const std::string& name); // 1 Mbit/s, no HT.
 // The paper's standard 3-station setup (two fast, one slow).
 std::vector<StationSpec> ThreeStationSetup();
 
+// True unless the AIRFAIR_PACKET_POOL environment variable is set to "0".
+bool PacketPoolEnabledByDefault();
+
 struct TestbedConfig {
   uint64_t seed = 1;
   QueueScheme scheme = QueueScheme::kFifo;
@@ -78,9 +82,16 @@ struct TestbedConfig {
   // Runtime invariant auditing (src/sim/audit.h). Defaults to on for
   // AIRFAIR_AUDIT builds or AIRFAIR_AUDIT=1 environments; the auditor then
   // sweeps every component's invariants on audit.interval cadence and, with
-  // audit.fatal (the default), fails hard on the first violation.
+  // audit.fatal (the default), fails hard on the first violation. The
+  // auditor's interval can be overridden at runtime with
+  // AIRFAIR_AUDIT_INTERVAL_MS (used by the benches' spot-audit mode).
   bool audit = AuditEnabledByDefault();
   Auditor::Config audit_config;
+
+  // Per-testbed packet pooling (net/packet_pool.h): allocation-free packets
+  // in steady state. Disabled by AIRFAIR_PACKET_POOL=0 (A/B comparisons and
+  // the determinism tests) — results are identical either way.
+  bool packet_pool = PacketPoolEnabledByDefault();
 };
 
 class Testbed {
@@ -127,6 +138,11 @@ class Testbed {
   void BuildBackend(const TestbedConfig& config);
   void BuildAuditor(const TestbedConfig& config);
 
+  // Declared before sim_ on purpose: members destroy in reverse order, so
+  // the pool outlives the event loop — closures still holding PacketPtrs
+  // release them into a live pool. The pool's destructor checks that no
+  // packet is outstanding.
+  PacketPool packet_pool_;
   Simulation sim_;
   StationTable station_table_;
   WifiMedium medium_;

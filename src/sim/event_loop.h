@@ -9,6 +9,16 @@
 // (rather than std::priority_queue) so the invariant auditor can inspect it:
 // CheckInvariants verifies the heap property, that no pending event is in the
 // past, and that dispatch time is monotone.
+//
+// Hot-path allocation behaviour (see DESIGN.md "Performance architecture"):
+//  * Callables are stored in a move-only InlineFunction with 48 bytes of
+//    inline storage, so closures capturing a couple of pointers and a moved
+//    PacketPtr never touch the heap and never need copyable captures.
+//  * PostAt/PostAfter schedule *detached* (fire-and-forget) events with no
+//    cancellation token at all — the common case on the packet paths.
+//  * ScheduleAt/ScheduleAfter still return an EventHandle; the shared_ptr
+//    tokens backing the handles are recycled through a per-loop free list,
+//    so steady-state timer reschedules allocate nothing.
 
 #ifndef AIRFAIR_SRC_SIM_EVENT_LOOP_H_
 #define AIRFAIR_SRC_SIM_EVENT_LOOP_H_
@@ -19,9 +29,15 @@
 #include <string>
 #include <vector>
 
+#include "src/util/inline_function.h"
 #include "src/util/time.h"
 
 namespace airfair {
+
+// Callable type stored per event. 48 inline bytes comfortably fits the
+// simulator's hot-path closures (a this-pointer, a moved PacketPtr, and a
+// couple of scalars); anything larger transparently falls back to the heap.
+using EventFn = InlineFunction<void(), 48>;
 
 // Cancellation handle for a scheduled event. Copyable; cancelling twice is
 // harmless. A default-constructed handle refers to nothing.
@@ -54,15 +70,28 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
+  // Publishes lifetime totals (events dispatched/scheduled, simulated time,
+  // token-recycling stats) into the named-counter registry for the bench
+  // harness. See util/stats.h.
+  ~EventLoop();
+
   TimeUs now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `when` (>= now).
-  EventHandle ScheduleAt(TimeUs when, std::function<void()> fn);
+  // Schedules `fn` to run at absolute time `when` (>= now) and returns a
+  // cancellation handle. The handle's shared token comes from a free list,
+  // so steady-state use allocates nothing.
+  EventHandle ScheduleAt(TimeUs when, EventFn fn);
 
   // Schedules `fn` to run `delay` from now.
-  EventHandle ScheduleAfter(TimeUs delay, std::function<void()> fn) {
+  EventHandle ScheduleAfter(TimeUs delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
+
+  // Fire-and-forget scheduling: no EventHandle, no cancellation token, no
+  // shared state at all. Use for the majority of events that nobody ever
+  // cancels (packet arrivals, transmission completions, one-shot kicks).
+  void PostAt(TimeUs when, EventFn fn);
+  void PostAfter(TimeUs delay, EventFn fn) { PostAt(now_ + delay, std::move(fn)); }
 
   // Runs events until the queue is empty or simulated time would pass `end`.
   // The clock finishes at `end` (or earlier if the queue drains).
@@ -77,6 +106,11 @@ class EventLoop {
   // Dispatch time of the most recently fired event (Zero before any fire).
   TimeUs last_dispatched() const { return last_dispatched_; }
   int64_t dispatched_events() const { return dispatched_events_; }
+  int64_t scheduled_events() const { return scheduled_events_; }
+
+  // Token free-list statistics, exposed for tests and the bench harness.
+  int64_t tokens_created() const { return tokens_created_; }
+  int64_t tokens_recycled() const { return tokens_recycled_; }
 
   // Verifies event-queue invariants, calling `fail` once per violation:
   //  * the heap property holds over the pending-event array;
@@ -84,6 +118,8 @@ class EventLoop {
   //  * sequence numbers are within the issued range (duplicates would break
   //    deterministic same-time ordering);
   //  * the dispatch clock never ran ahead of the loop clock.
+  // (Detached events legitimately carry no cancellation token, so a null
+  // token is *not* a violation.)
   // Returns the number of violations found. Read-only; safe to call from an
   // audit event while the loop runs.
   int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
@@ -92,8 +128,8 @@ class EventLoop {
   struct Event {
     TimeUs when;
     uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;  // nullptr for detached (Post*) events.
   };
 
   // Min-heap on (when, seq) via the std heap algorithms (which build a
@@ -110,11 +146,22 @@ class EventLoop {
   // Removes and returns the earliest event.
   Event PopTop();
 
+  // Token free list: AcquireToken reuses a previously released token when
+  // possible; ReleaseToken returns a token to the pool iff the loop holds
+  // the only reference (no live EventHandle still observes it).
+  std::shared_ptr<bool> AcquireToken();
+  void ReleaseToken(std::shared_ptr<bool>&& token);
+
   TimeUs now_ = TimeUs::Zero();
   TimeUs last_dispatched_ = TimeUs::Zero();
   int64_t dispatched_events_ = 0;
+  int64_t scheduled_events_ = 0;
+  int64_t detached_events_ = 0;
+  int64_t tokens_created_ = 0;
+  int64_t tokens_recycled_ = 0;
   uint64_t next_seq_ = 0;
   std::vector<Event> heap_;
+  std::vector<std::shared_ptr<bool>> token_pool_;
 };
 
 }  // namespace airfair

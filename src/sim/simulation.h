@@ -26,11 +26,18 @@ class Simulation {
   Rng& rng() { return rng_; }
   TimeUs now() const { return loop_.now(); }
 
-  EventHandle At(TimeUs when, std::function<void()> fn) {
+  EventHandle At(TimeUs when, EventFn fn) {
     return loop_.ScheduleAt(when, std::move(fn));
   }
-  EventHandle After(TimeUs delay, std::function<void()> fn) {
+  EventHandle After(TimeUs delay, EventFn fn) {
     return loop_.ScheduleAfter(delay, std::move(fn));
+  }
+
+  // Fire-and-forget variants: no handle, no cancellation token, and (for
+  // closures within EventFn's inline buffer) no heap allocation at all.
+  void PostAt(TimeUs when, EventFn fn) { loop_.PostAt(when, std::move(fn)); }
+  void PostAfter(TimeUs delay, EventFn fn) {
+    loop_.PostAfter(delay, std::move(fn));
   }
 
   void RunFor(TimeUs duration) { loop_.RunUntil(loop_.now() + duration); }

@@ -7,13 +7,18 @@
 namespace airfair {
 namespace {
 
+// Both hooks are thread_local: each repetition of the parallel runner owns
+// its Testbed on a worker thread, and the Testbed installs a time provider
+// bound to its own simulation clock. Process-wide globals would race and —
+// worse — stamp failures from one repetition with another repetition's
+// simulated time.
 CheckFailureHandler& Handler() {
-  static CheckFailureHandler handler;  // Empty = default abort behaviour.
+  thread_local CheckFailureHandler handler;  // Empty = default abort behaviour.
   return handler;
 }
 
 std::function<TimeUs()>& TimeProvider() {
-  static std::function<TimeUs()> provider;
+  thread_local std::function<TimeUs()> provider;
   return provider;
 }
 

@@ -37,12 +37,15 @@ using CheckFailureHandler =
     std::function<void(const char* file, int line, const std::string& message)>;
 
 // Installs `handler`; passing nullptr restores the default abort handler.
-// Returns the previous handler.
+// Returns the previous handler. Both hooks are **per-thread** (thread_local):
+// each worker of the parallel repetition runner gets its own handler and
+// time provider, so concurrent repetitions neither race on installation nor
+// stamp failures with a sibling repetition's clock.
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
 
 // Installs a provider for the current simulated time, included in failure
 // messages as "t=<n>us". Passing nullptr clears it. The Testbed and the
-// Auditor install the owning Simulation's clock.
+// Auditor install the owning Simulation's clock (on the calling thread).
 void SetCheckTimeProvider(std::function<TimeUs()> provider);
 
 // RAII scope guards for the two hooks; used by tests and the Auditor so

@@ -1,0 +1,159 @@
+// A move-only callable wrapper with inline (small-buffer) storage.
+//
+// The event loop stores one callable per scheduled event, so the callable
+// type determines the per-event allocation cost. std::function is the wrong
+// tool for that job twice over: it requires *copyable* targets (forcing
+// shared_ptr shims around move-only captures like PacketPtr) and it heap-
+// allocates any closure larger than its tiny internal buffer (16 bytes on
+// libstdc++).
+//
+// InlineFunction fixes both:
+//   * move-only targets are accepted directly, so packets and descriptor
+//     vectors can be moved into completion events without shared_ptr holders;
+//   * closures up to `InlineBytes` (default 48) live inside the object, so
+//     the fire-and-forget events on the simulator's hot paths perform zero
+//     heap allocations.
+// Larger or potentially-throwing-on-move closures transparently fall back to
+// the heap, so arbitrary code keeps working (it just pays the allocation).
+
+#ifndef AIRFAIR_SRC_UTIL_INLINE_FUNCTION_H_
+#define AIRFAIR_SRC_UTIL_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace airfair {
+
+inline constexpr size_t kDefaultInlineFunctionBytes = 48;
+
+template <typename Signature, size_t InlineBytes = kDefaultInlineFunctionBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &InlineTarget<D>::Invoke;
+      manage_ = &InlineTarget<D>::Manage;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      invoke_ = &HeapTarget<D>::Invoke;
+      manage_ = &HeapTarget<D>::Manage;
+      heap_ = true;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(static_cast<void*>(storage_), std::forward<Args>(args)...);
+  }
+
+  // True when the target lives in the inline buffer (no heap allocation).
+  // Exposed so tests can pin down which closures stay allocation-free.
+  bool is_inline() const { return invoke_ != nullptr && !heap_; }
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  // Manager protocol: src != nullptr -> move-construct dst from src and
+  // destroy src; src == nullptr -> destroy dst.
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(void* dst, void* src);
+
+  template <typename D>
+  struct InlineTarget {
+    static R Invoke(void* s, Args&&... args) {
+      return (*std::launder(reinterpret_cast<D*>(s)))(std::forward<Args>(args)...);
+    }
+    static void Manage(void* dst, void* src) {
+      if (src != nullptr) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      } else {
+        std::launder(reinterpret_cast<D*>(dst))->~D();
+      }
+    }
+  };
+
+  template <typename D>
+  struct HeapTarget {
+    static R Invoke(void* s, Args&&... args) {
+      return (**reinterpret_cast<D**>(s))(std::forward<Args>(args)...);
+    }
+    static void Manage(void* dst, void* src) {
+      if (src != nullptr) {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+        *reinterpret_cast<D**>(src) = nullptr;
+      } else {
+        delete *reinterpret_cast<D**>(dst);
+      }
+    }
+  };
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.invoke_ == nullptr) {
+      return;
+    }
+    other.manage_(static_cast<void*>(storage_), static_cast<void*>(other.storage_));
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void Reset() {
+    if (invoke_ != nullptr) {
+      manage_(static_cast<void*>(storage_), nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+      heap_ = false;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_UTIL_INLINE_FUNCTION_H_

@@ -1,12 +1,13 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace airfair {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,9 +29,11 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message) {
   // Strip directories for readability.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace airfair {
 
@@ -36,12 +37,29 @@ void SampleSet::Add(double x) {
   sorted_ = false;
 }
 
-void SampleSet::EnsureSorted() const {
+void SampleSet::Merge(const SampleSet& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void SampleSet::Sort() {
   if (!sorted_) {
-    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
-    std::sort(mutable_samples.begin(), mutable_samples.end());
+    std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+}
+
+const std::vector<double>& SampleSet::SortedView(
+    std::vector<double>& scratch) const {
+  if (sorted_) {
+    return samples_;
+  }
+  scratch = samples_;
+  std::sort(scratch.begin(), scratch.end());
+  return scratch;
 }
 
 double SampleSet::mean() const {
@@ -55,26 +73,35 @@ double SampleSet::mean() const {
   return sum / static_cast<double>(samples_.size());
 }
 
+namespace {
+
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double SampleSet::Quantile(double q) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  EnsureSorted();
-  q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(samples_.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  std::vector<double> scratch;
+  return QuantileOfSorted(SortedView(scratch), q);
 }
 
 double SampleSet::CdfAt(double x) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  EnsureSorted();
-  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
-  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+  std::vector<double> scratch;
+  const std::vector<double>& sorted = SortedView(scratch);
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
 }
 
 std::vector<std::pair<double, double>> SampleSet::CdfPoints(int points) const {
@@ -82,10 +109,12 @@ std::vector<std::pair<double, double>> SampleSet::CdfPoints(int points) const {
   if (samples_.empty() || points <= 0) {
     return out;
   }
+  std::vector<double> scratch;
+  const std::vector<double>& sorted = SortedView(scratch);
   out.reserve(static_cast<size_t>(points));
   for (int i = 1; i <= points; ++i) {
     const double q = static_cast<double>(i) / static_cast<double>(points);
-    out.emplace_back(Quantile(q), q);
+    out.emplace_back(QuantileOfSorted(sorted, q), q);
   }
   return out;
 }
@@ -129,7 +158,14 @@ double MedianOf(std::vector<double> values) {
 namespace {
 
 // std::map keeps snapshot output sorted and never invalidates references on
-// insert, which is what makes GetCounter's returned reference stable.
+// insert, which is what makes GetCounter's returned reference stable. The
+// mutex guards map *structure* (insertions / iteration); the counter values
+// themselves are atomics, so returned references can be bumped lock-free.
+std::mutex& CounterMutex() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
 std::map<std::string, Counter>& CounterMap() {
   static auto* counters = new std::map<std::string, Counter>();
   return *counters;
@@ -137,9 +173,13 @@ std::map<std::string, Counter>& CounterMap() {
 
 }  // namespace
 
-Counter& GetCounter(const std::string& name) { return CounterMap()[name]; }
+Counter& GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(CounterMutex());
+  return CounterMap()[name];
+}
 
 std::vector<std::pair<std::string, int64_t>> CounterSnapshot() {
+  std::lock_guard<std::mutex> lock(CounterMutex());
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(CounterMap().size());
   for (const auto& [name, counter] : CounterMap()) {
@@ -149,6 +189,7 @@ std::vector<std::pair<std::string, int64_t>> CounterSnapshot() {
 }
 
 void ResetCounters() {
+  std::lock_guard<std::mutex> lock(CounterMutex());
   for (auto& [name, counter] : CounterMap()) {
     counter.Set(0);
   }

@@ -53,7 +53,7 @@ TEST(Host, AnswersIcmpEchoWithMirroredFlow) {
   Host host(&sim, 5);
   PacketPtr reply;
   host.set_egress([&reply](PacketPtr p) { reply = std::move(p); });
-  auto request = std::make_unique<Packet>();
+  auto request = NewHeapPacket();
   request->size_bytes = 84;
   request->type = PacketType::kIcmpEchoRequest;
   request->flow = FlowKey{2, 5, 1234, 0, 1};

@@ -1,0 +1,211 @@
+// Allocation-accounting tests for the hot-path overhaul: after warmup, the
+// steady state of the packet pool and of the event loop performs zero heap
+// allocations per packet / per event. Verified with a counting replacement
+// of the global operator new/delete, measured as deltas across the steady-
+// state window (so gtest's own allocations outside the window don't count).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+// GCC tracks which allocation routine produced a pointer and warns when one
+// from our malloc-backed counting operator new reaches std::free inside our
+// replacement operator delete. That pairing is exactly the contract the
+// replacements below implement, so the warning is a false positive here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include "src/net/packet_pool.h"
+#include "src/scenario/experiments.h"
+#include "src/sim/event_loop.h"
+#include "src/util/stats.h"
+
+namespace {
+
+std::atomic<std::int64_t> g_allocations{0};
+
+std::int64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// --- Counting global allocator -------------------------------------------
+// Replacement functions must live at global scope. They count every
+// allocation in the process; the tests below only look at deltas over
+// single-threaded windows that execute nothing but the code under test.
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace airfair {
+namespace {
+
+TEST(PerfAllocTest, PacketPoolSteadyStateIsAllocationFree) {
+  PacketPool pool;
+  // Warmup: force two chunks into existence, then return everything.
+  {
+    std::vector<PacketPtr> warm;
+    warm.reserve(PacketPool::kChunkPackets + 8);
+    for (int i = 0; i < PacketPool::kChunkPackets + 8; ++i) {
+      warm.push_back(pool.Allocate());
+    }
+  }
+  EXPECT_EQ(pool.chunks(), 2);
+  EXPECT_EQ(pool.outstanding(), 0);
+
+  const std::int64_t before = AllocationCount();
+  const std::int64_t recycled_before = pool.total_recycled();
+  for (int i = 0; i < 10000; ++i) {
+    PacketPtr p = pool.Allocate();
+    p->size_bytes = 1500;
+    p.reset();
+  }
+  EXPECT_EQ(AllocationCount() - before, 0)
+      << "pool Allocate/Release cycle touched the heap";
+  EXPECT_EQ(pool.total_recycled() - recycled_before, 10000);
+  EXPECT_EQ(pool.chunks(), 2);
+}
+
+TEST(PerfAllocTest, PacketPoolReleaseOrderIsLifoFriendly) {
+  // Interleaved alloc/release with several packets in flight still stays on
+  // the free list once the chunk exists.
+  PacketPool pool;
+  std::vector<PacketPtr> live;
+  live.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    live.push_back(pool.Allocate());
+  }
+  const std::int64_t before = AllocationCount();
+  for (int round = 0; round < 1000; ++round) {
+    live[static_cast<size_t>(round % 64)] = pool.Allocate();
+  }
+  live.clear();
+  EXPECT_EQ(AllocationCount() - before, 0);
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+// Self-reposting detached event: the fire-and-forget fast path.
+struct Repost {
+  EventLoop* loop;
+  std::int64_t* fired;
+  int remaining;
+  void operator()() {
+    ++*fired;
+    if (--remaining > 0) {
+      loop->PostAfter(TimeUs(10), Repost{loop, fired, remaining});
+    }
+  }
+};
+
+TEST(PerfAllocTest, DetachedEventSteadyStateIsAllocationFree) {
+  EventLoop loop;
+  std::int64_t fired = 0;
+  // Warmup: grow the event-heap vector to its steady capacity.
+  loop.PostAfter(TimeUs(10), Repost{&loop, &fired, 64});
+  loop.RunUntil(TimeUs::FromSeconds(1));
+  ASSERT_EQ(fired, 64);
+
+  const std::int64_t before = AllocationCount();
+  loop.PostAfter(TimeUs(10), Repost{&loop, &fired, 10000});
+  loop.RunUntil(TimeUs::FromSeconds(10));
+  EXPECT_EQ(fired, 64 + 10000);
+  EXPECT_EQ(AllocationCount() - before, 0)
+      << "detached Post/dispatch cycle touched the heap";
+}
+
+// Self-rescheduling timer that keeps an EventHandle, exercising the
+// cancellation-token free list.
+struct Tick {
+  EventLoop* loop;
+  EventHandle* handle;
+  std::int64_t* fired;
+  int* remaining;
+  void operator()() {
+    ++*fired;
+    if (--*remaining > 0) {
+      *handle = loop->ScheduleAfter(TimeUs(10), Tick{loop, handle, fired, remaining});
+    }
+  }
+};
+
+TEST(PerfAllocTest, HandleTimerSteadyStateRecyclesTokens) {
+  EventLoop loop;
+  EventHandle handle;
+  std::int64_t fired = 0;
+  int remaining = 10064;
+  handle = loop.ScheduleAfter(TimeUs(10), Tick{&loop, &handle, &fired, &remaining});
+  // Warmup: the first fires of a timer chain mint the two tokens that then
+  // rotate through the free list. (Stopping and restarting a chain strands
+  // one token in the kept handle, so measure *inside* one continuous chain:
+  // the event fires every 10 us, so running to t=645 us dispatches 64.)
+  loop.RunUntil(TimeUs(645));
+  ASSERT_EQ(fired, 64);
+
+  const std::int64_t tokens_created = loop.tokens_created();
+  const std::int64_t before = AllocationCount();
+  loop.RunUntil(TimeUs::FromSeconds(10));
+  EXPECT_EQ(fired, 10064);
+  EXPECT_EQ(AllocationCount() - before, 0)
+      << "handle-carrying timer reschedule touched the heap";
+  // Every reschedule reused a pooled token instead of minting a new one.
+  EXPECT_EQ(loop.tokens_created(), tokens_created);
+  EXPECT_GE(loop.tokens_recycled(), 10000);
+}
+
+TEST(PerfAllocTest, TestbedPacketsAllComeFromThePool) {
+  ResetCounters();
+  {
+    TestbedConfig config;
+    config.seed = 42;
+    config.scheme = QueueScheme::kAirtimeFair;
+    ExperimentTiming timing;
+    timing.warmup = TimeUs::FromMilliseconds(200);
+    timing.measure = TimeUs::FromMilliseconds(800);
+    const StationMeasurements m = RunUdpDownload(config, timing);
+    EXPECT_GT(m.total_throughput_mbps, 0);
+  }
+  // Counters publish when the Testbed (pool + hosts) is destroyed inside
+  // RunUdpDownload.
+  EXPECT_GT(GetCounter("packets.pool.allocated").value(), 0);
+  EXPECT_EQ(GetCounter("packets.heap").value(), 0)
+      << "some call site still allocates packets on the heap";
+  // Recycling dominates: far more packets flowed than chunk capacity.
+  EXPECT_GT(GetCounter("packets.pool.recycled").value(),
+            GetCounter("packets.pool.chunks").value() * PacketPool::kChunkPackets);
+}
+
+}  // namespace
+}  // namespace airfair

@@ -1,0 +1,134 @@
+// Tests for the parallel repetition runner: job coverage, result ordering,
+// exception propagation — and the headline property, that experiment results
+// are bit-identical for any thread count and with the packet pool on or off.
+
+#include "src/scenario/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/scenario/experiments.h"
+
+namespace airfair {
+namespace {
+
+TEST(ParallelRunnerTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+TEST(ParallelRunnerTest, RunJobsExecutesEveryJobExactlyOnce) {
+  constexpr int kJobs = 97;
+  std::vector<std::atomic<int>> hits(kJobs);
+  RunJobs(kJobs, [&](int job) { hits[static_cast<size_t>(job)].fetch_add(1); },
+          /*threads=*/4);
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ParallelRunnerTest, SingleThreadRunsInlineInOrder) {
+  std::vector<int> order;
+  RunJobs(5, [&](int job) { order.push_back(job); }, /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunnerTest, ZeroJobsIsANoOp) {
+  bool ran = false;
+  RunJobs(0, [&](int) { ran = true; }, /*threads=*/4);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelRunnerTest, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(RunJobs(8,
+                       [&](int job) {
+                         if (job == 3) {
+                           throw std::runtime_error("boom");
+                         }
+                       },
+                       /*threads=*/4),
+               std::runtime_error);
+}
+
+TEST(ParallelRunnerTest, RunRepetitionsReturnsResultsInRepOrder) {
+  const auto out =
+      RunRepetitions<int>(9, [](int rep) { return rep * 10; }, /*threads=*/4);
+  ASSERT_EQ(out.size(), 9u);
+  for (int rep = 0; rep < 9; ++rep) {
+    EXPECT_EQ(out[static_cast<size_t>(rep)], rep * 10);
+  }
+}
+
+TEST(ParallelRunnerTest, RunSchemeRepetitionsIndexesSchemeMajor) {
+  const auto out = RunSchemeRepetitions<int>(
+      3, 4, [](int scheme, int rep) { return scheme * 100 + rep; }, /*threads=*/4);
+  ASSERT_EQ(out.size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_EQ(out[static_cast<size_t>(s)].size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(out[static_cast<size_t>(s)][static_cast<size_t>(r)], s * 100 + r);
+    }
+  }
+}
+
+// --- Determinism ----------------------------------------------------------
+
+ExperimentTiming ShortTiming() {
+  ExperimentTiming timing;
+  timing.warmup = TimeUs::FromMilliseconds(300);
+  timing.measure = TimeUs::FromMilliseconds(900);
+  return timing;
+}
+
+std::vector<std::vector<StationMeasurements>> RunGrid(int threads, bool packet_pool) {
+  const QueueScheme kSchemes[] = {QueueScheme::kFifo, QueueScheme::kAirtimeFair};
+  return RunSchemeRepetitions<StationMeasurements>(
+      2, 3,
+      [&](int scheme, int rep) {
+        TestbedConfig config;
+        config.seed = 7000 + static_cast<uint64_t>(rep);
+        config.scheme = kSchemes[scheme];
+        config.packet_pool = packet_pool;
+        return RunUdpDownload(config, ShortTiming());
+      },
+      threads);
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<StationMeasurements>>& a,
+                        const std::vector<std::vector<StationMeasurements>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (size_t r = 0; r < a[s].size(); ++r) {
+      const StationMeasurements& x = a[s][r];
+      const StationMeasurements& y = b[s][r];
+      // Exact floating-point equality: the simulations must replay the very
+      // same event sequence, not merely a statistically similar one.
+      EXPECT_EQ(x.throughput_mbps, y.throughput_mbps) << "scheme " << s << " rep " << r;
+      EXPECT_EQ(x.airtime_share, y.airtime_share) << "scheme " << s << " rep " << r;
+      EXPECT_EQ(x.mean_aggregation, y.mean_aggregation) << "scheme " << s << " rep " << r;
+      EXPECT_EQ(x.jain_airtime, y.jain_airtime) << "scheme " << s << " rep " << r;
+      EXPECT_EQ(x.total_throughput_mbps, y.total_throughput_mbps)
+          << "scheme " << s << " rep " << r;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const auto serial = RunGrid(/*threads=*/1, /*packet_pool=*/true);
+  const auto parallel = RunGrid(/*threads=*/4, /*packet_pool=*/true);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelRunnerTest, ResultsAreBitIdenticalWithPoolDisabled) {
+  // The packet pool is a pure allocation strategy: turning it off must not
+  // perturb a single measurement.
+  const auto pooled = RunGrid(/*threads=*/1, /*packet_pool=*/true);
+  const auto heap = RunGrid(/*threads=*/1, /*packet_pool=*/false);
+  ExpectBitIdentical(pooled, heap);
+}
+
+}  // namespace
+}  // namespace airfair

@@ -12,7 +12,7 @@ namespace airfair {
 // A BE UDP data packet of `bytes` for flow (src_port -> dst_port).
 inline PacketPtr MakePacket(int bytes = kFullDataPacketBytes, uint16_t src_port = 1000,
                             uint16_t dst_port = 2000, uint32_t dst_node = 2) {
-  auto p = std::make_unique<Packet>();
+  auto p = NewHeapPacket();
   p->size_bytes = bytes;
   p->type = PacketType::kUdp;
   p->flow = FlowKey{/*src_node=*/0, dst_node, src_port, dst_port, /*protocol=*/17};

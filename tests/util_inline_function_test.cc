@@ -1,0 +1,147 @@
+// Tests for InlineFunction: the move-only small-buffer callable that backs
+// the event loop's per-event storage. The inline/heap split matters for the
+// allocation-free steady state, so these tests pin it down explicitly.
+
+#include "src/util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace airfair {
+namespace {
+
+using Fn = InlineFunction<int(), 48>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+}
+
+TEST(InlineFunctionTest, InvokesTargetAndReturnsValue) {
+  Fn fn = [] { return 42; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunctionTest, ForwardsArguments) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, SmallClosureStaysInline) {
+  int a = 1;
+  int b = 2;
+  Fn fn = [a, b] { return a + b; };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 3);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureIsAccepted) {
+  auto value = std::make_unique<int>(7);
+  Fn fn = [v = std::move(value)] { return *v; };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunctionTest, OversizedClosureFallsBackToHeap) {
+  struct Big {
+    char bytes[64];
+  };
+  Big big{};
+  big.bytes[0] = 9;
+  Fn fn = [big] { return static_cast<int>(big.bytes[0]); };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 9);
+}
+
+TEST(InlineFunctionTest, FitsInlineBoundary) {
+  struct Exactly48 {
+    char bytes[48];
+    int operator()() const { return 0; }  // NOLINT(readability-convert-member-functions-to-static)
+  };
+  struct Over48 {
+    char bytes[49];
+    int operator()() const { return 0; }  // NOLINT(readability-convert-member-functions-to-static)
+  };
+  EXPECT_TRUE(Fn::fits_inline<Exactly48>());
+  EXPECT_FALSE(Fn::fits_inline<Over48>());
+}
+
+TEST(InlineFunctionTest, MutableStatePersistsAcrossCalls) {
+  InlineFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  Fn a = [] { return 5; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b(), 5);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c(), 5);
+}
+
+TEST(InlineFunctionTest, MovePreservesHeapTargets) {
+  struct Big {
+    char bytes[64];
+  };
+  Big big{};
+  big.bytes[0] = 3;
+  Fn a = [big] { return static_cast<int>(big.bytes[0]); };
+  ASSERT_FALSE(a.is_inline());
+  Fn b = std::move(a);
+  EXPECT_FALSE(b.is_inline());
+  EXPECT_EQ(b(), 3);
+}
+
+TEST(InlineFunctionTest, NullptrAssignmentClears) {
+  Fn fn = [] { return 1; };
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+struct DtorCounterTarget {
+  explicit DtorCounterTarget(int* destroyed) : destroyed_(destroyed) {}
+  DtorCounterTarget(DtorCounterTarget&& other) noexcept
+      : destroyed_(std::exchange(other.destroyed_, nullptr)) {}
+  DtorCounterTarget(const DtorCounterTarget&) = delete;
+  ~DtorCounterTarget() {
+    if (destroyed_ != nullptr) {
+      ++*destroyed_;
+    }
+  }
+  int operator()() const { return 11; }
+  int* destroyed_;
+};
+
+TEST(InlineFunctionTest, DestroysCapturedStateExactlyOnce) {
+  int destroyed = 0;
+  {
+    Fn fn{DtorCounterTarget(&destroyed)};
+    EXPECT_EQ(fn(), 11);
+    // Moving around must not double-destroy the live capture.
+    Fn other = std::move(fn);
+    EXPECT_EQ(other(), 11);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunctionTest, ReassignmentDestroysPreviousTarget) {
+  int destroyed = 0;
+  Fn fn{DtorCounterTarget(&destroyed)};
+  fn = [] { return 0; };
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace airfair
