@@ -1,5 +1,6 @@
 #include "src/apps/voip.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 

@@ -1,9 +1,9 @@
 #include "src/apps/web.h"
 
-#include <cassert>
 #include <tuple>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/logging.h"
 
 namespace airfair {
@@ -61,7 +61,7 @@ WebClient::WebClient(Host* host, uint32_t server_node, uint16_t server_port, Web
 WebClient::~WebClient() { host_->UnbindPort(dns_port_); }
 
 void WebClient::Fetch(const WebPage& page, std::function<void(TimeUs)> done) {
-  assert(!fetching_);
+  AF_DCHECK(!fetching_) << " overlapping WebClient::Fetch";
   fetching_ = true;
   page_ = page;
   done_ = std::move(done);

@@ -79,7 +79,7 @@ PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullF
   return std::move(r.packet);
 }
 
-int CoDelState::CheckValid(const std::function<void(const std::string&)>& fail) const {
+int CoDelState::CheckValid(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;
@@ -116,7 +116,7 @@ void CoDelState::Reset() {
   dropping_ = false;
 }
 
-CoDelQdisc::CoDelQdisc(std::function<TimeUs()> clock, const CoDelParams& params,
+CoDelQdisc::CoDelQdisc(InlineFunction<TimeUs()> clock, const CoDelParams& params,
                        int limit_packets)
     : clock_(std::move(clock)), params_(params), limit_(limit_packets) {}
 

@@ -14,11 +14,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "src/aqm/queue_discipline.h"
 #include "src/net/packet.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 #include "src/util/time.h"
 
 namespace airfair {
@@ -36,8 +37,11 @@ struct CoDelParams {
 
 class CoDelState {
  public:
-  using PullFn = std::function<PacketPtr()>;
-  using DropFn = std::function<void(PacketPtr)>;
+  // Non-owning (util::FunctionRef): both hooks are materialised by the
+  // caller for the duration of one Dequeue call — the classic function_ref
+  // shape — so the per-dequeue hot path pays two words, no allocation.
+  using PullFn = FunctionRef<PacketPtr()>;
+  using DropFn = FunctionRef<void(PacketPtr)>;
 
   // Runs the CoDel control law: pulls packets via `pull`, dropping those the
   // law selects (handing them to `drop`), and returns the first survivor (or
@@ -58,7 +62,7 @@ class CoDelState {
   //    dropping state;
   //  * the cumulative drop counter never runs behind the in-state count.
   // Calls `fail` once per violation; returns the number found.
-  int CheckValid(const std::function<void(const std::string&)>& fail) const;
+  int CheckValid(AuditFailFn fail) const;
 
   // Test-only: forces raw controller state so the auditor's detection of an
   // invalid state machine can itself be tested.
@@ -92,7 +96,7 @@ class CoDelState {
 class CoDelQdisc : public Qdisc {
  public:
   // `clock` supplies the current time at enqueue/dequeue.
-  CoDelQdisc(std::function<TimeUs()> clock, const CoDelParams& params, int limit_packets = 1000);
+  CoDelQdisc(InlineFunction<TimeUs()> clock, const CoDelParams& params, int limit_packets = 1000);
 
   void Enqueue(PacketPtr packet) override;
   PacketPtr Dequeue() override;
@@ -101,7 +105,7 @@ class CoDelQdisc : public Qdisc {
   const CoDelState& state() const { return state_; }
 
  private:
-  std::function<TimeUs()> clock_;
+  InlineFunction<TimeUs()> clock_;
   CoDelParams params_;
   int limit_;
   std::deque<PacketPtr> queue_;

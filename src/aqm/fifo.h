@@ -8,6 +8,7 @@
 #define AIRFAIR_SRC_AQM_FIFO_H_
 
 #include <deque>
+#include <utility>
 
 #include "src/aqm/queue_discipline.h"
 

@@ -9,7 +9,7 @@
 
 namespace airfair {
 
-FqCodelQdisc::FqCodelQdisc(std::function<TimeUs()> clock, const FqCodelConfig& config)
+FqCodelQdisc::FqCodelQdisc(InlineFunction<TimeUs()> clock, const FqCodelConfig& config)
     : clock_(std::move(clock)), config_(config), queues_(config.flows) {}
 
 FqCodelQdisc::FlowQueue* FqCodelQdisc::FattestQueue() {
@@ -114,7 +114,7 @@ PacketPtr FqCodelQdisc::Dequeue() {
   }
 }
 
-int FqCodelQdisc::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int FqCodelQdisc::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

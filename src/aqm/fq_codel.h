@@ -14,12 +14,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/aqm/codel.h"
 #include "src/aqm/queue_discipline.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 #include "src/util/intrusive_list.h"
 #include "src/util/time.h"
 
@@ -35,7 +36,7 @@ struct FqCodelConfig {
 
 class FqCodelQdisc : public Qdisc {
  public:
-  FqCodelQdisc(std::function<TimeUs()> clock, const FqCodelConfig& config);
+  FqCodelQdisc(InlineFunction<TimeUs()> clock, const FqCodelConfig& config);
 
   void Enqueue(PacketPtr packet) override;
   PacketPtr Dequeue() override;
@@ -55,7 +56,7 @@ class FqCodelQdisc : public Qdisc {
   // per-queue byte counters, non-empty queues being scheduled, DRR deficit
   // bounds, drop-counter consistency, intrusive-list integrity and per-flow
   // CoDel state validity.
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
   // Test-only corruption hook for tests/sim_audit_test.cc.
   void CorruptConservationForTesting() { ++enqueued_total_; }
@@ -73,7 +74,7 @@ class FqCodelQdisc : public Qdisc {
   FlowQueue* FattestQueue();
   void DropFromFattest();
 
-  std::function<TimeUs()> clock_;
+  InlineFunction<TimeUs()> clock_;
   FqCodelConfig config_;
   std::vector<FlowQueue> queues_;
   IntrusiveList<FlowQueue, &FlowQueue::node> new_flows_;

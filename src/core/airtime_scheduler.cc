@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -45,7 +46,7 @@ void AirtimeScheduler::MarkBacklogged(StationId station, AccessCategory ac) {
 }
 
 StationId AirtimeScheduler::NextStation(AccessCategory ac,
-                                        const std::function<bool(StationId)>& has_data) {
+                                        FunctionRef<bool(StationId)> has_data) {
   AcState& lists = acs_[static_cast<size_t>(ac)];
   // Algorithm 3, lines 2-18 (the caller implements the hardware-queue loop
   // and build_aggregate).
@@ -109,7 +110,7 @@ bool AirtimeScheduler::HasBacklogged(AccessCategory ac) const {
   return !lists.new_stations.empty() || !lists.old_stations.empty();
 }
 
-int AirtimeScheduler::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int AirtimeScheduler::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

@@ -20,13 +20,13 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/mac/frame.h"
 #include "src/net/packet.h"
+#include "src/util/function_ref.h"
 #include "src/util/intrusive_list.h"
 #include "src/util/time.h"
 
@@ -53,7 +53,7 @@ class AirtimeScheduler {
   // next aggregate for `ac`, or kNoStation when none is backlogged.
   // `has_data` reports whether a station still has frames queued for `ac`;
   // stations without data are rotated out per lines 13-18.
-  StationId NextStation(AccessCategory ac, const std::function<bool(StationId)>& has_data);
+  StationId NextStation(AccessCategory ac, FunctionRef<bool(StationId)> has_data);
 
   // Deficit accounting, in microseconds of airtime. Charged on TX completion
   // and (when enabled by the backend) on RX.
@@ -85,7 +85,7 @@ class AirtimeScheduler {
   //    station's deficit many quanta negative between scheduling rounds;
   //  * sparse-station anti-gaming state: every listed station entry is
   //    consistent (valid id, matching index, not double-listed).
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
   // Test-only corruption hooks: force a listed station's deficit above the
   // quantum bound / below the charge low-watermark so the auditor's

@@ -5,10 +5,10 @@
 
 namespace airfair {
 
-CodelAdaptation::CodelAdaptation(std::function<TimeUs()> clock, const Config& config)
+CodelAdaptation::CodelAdaptation(InlineFunction<TimeUs()> clock, const Config& config)
     : clock_(std::move(clock)), config_(config) {}
 
-CodelAdaptation::CodelAdaptation(std::function<TimeUs()> clock)
+CodelAdaptation::CodelAdaptation(InlineFunction<TimeUs()> clock)
     : CodelAdaptation(std::move(clock), Config()) {}
 
 void CodelAdaptation::UpdateExpectedThroughput(StationId station, double bps) {
@@ -64,7 +64,7 @@ bool SameParams(const CoDelParams& a, const CoDelParams& b) {
 
 }  // namespace
 
-int CodelAdaptation::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int CodelAdaptation::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

@@ -13,12 +13,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/aqm/codel.h"
 #include "src/mac/frame.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 #include "src/util/time.h"
 
 namespace airfair {
@@ -32,8 +33,8 @@ class CodelAdaptation {
     CoDelParams low_rate = CoDelParams::LowRate(); // target 50 ms / interval 300 ms
   };
 
-  CodelAdaptation(std::function<TimeUs()> clock, const Config& config);
-  explicit CodelAdaptation(std::function<TimeUs()> clock);
+  CodelAdaptation(InlineFunction<TimeUs()> clock, const Config& config);
+  explicit CodelAdaptation(InlineFunction<TimeUs()> clock);
 
   // Feeds the rate-selection throughput estimate for `station`. Parameter
   // switches obey the hysteresis window.
@@ -56,7 +57,7 @@ class CodelAdaptation {
   //    by stations whose deciding throughput estimate was below the
   //    threshold (12 Mbit/s by default), and vice versa;
   //  * ParamsFor resolves to exactly one of the two configured sets.
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
   // Test-only corruption hooks for tests/sim_audit_test.cc.
   void CorruptHysteresisForTesting() {
@@ -74,7 +75,7 @@ class CodelAdaptation {
     double decided_bps = 0.0;
   };
 
-  std::function<TimeUs()> clock_;
+  InlineFunction<TimeUs()> clock_;
   Config config_;
   std::vector<State> states_;
   // Smallest gap ever observed between two parameter switches of one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "src/util/check.h"
@@ -9,7 +10,7 @@
 
 namespace airfair {
 
-MacQueues::MacQueues(std::function<TimeUs()> clock, const Config& config)
+MacQueues::MacQueues(InlineFunction<TimeUs()> clock, const Config& config)
     : clock_(std::move(clock)), config_(config), pool_(config.flow_queues) {}
 
 CoDelParams MacQueues::ParamsFor(StationId station) const {
@@ -155,7 +156,7 @@ PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
   }
 }
 
-int MacQueues::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int MacQueues::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

@@ -23,14 +23,16 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/aqm/codel.h"
 #include "src/mac/frame.h"
 #include "src/net/packet.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 #include "src/util/intrusive_list.h"
 #include "src/util/time.h"
 
@@ -47,14 +49,14 @@ class MacQueues {
     uint64_t hash_perturbation = 0;
   };
 
-  MacQueues(std::function<TimeUs()> clock, const Config& config);
+  MacQueues(InlineFunction<TimeUs()> clock, const Config& config);
 
   MacQueues(const MacQueues&) = delete;
   MacQueues& operator=(const MacQueues&) = delete;
 
   // Resolves CoDel parameters for a station at dequeue time (wire this to
   // the CodelAdaptation module). Defaults to CoDelParams::Default() for all.
-  void set_codel_params_provider(std::function<CoDelParams(StationId)> fn) {
+  void set_codel_params_provider(InlineFunction<CoDelParams(StationId)> fn) {
     codel_params_ = std::move(fn);
   }
 
@@ -96,7 +98,7 @@ class MacQueues {
   //    deficit never falls to -max_packet_size or below (one dequeue charges
   //    at most one packet against a positive deficit);
   //  * per-flow CoDel state-machine validity.
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
   // Test-only corruption hooks, used by tests/sim_audit_test.cc to prove the
   // auditor detects each invariant class.
@@ -133,9 +135,9 @@ class MacQueues {
   PacketPtr PullHead(FlowQueue& queue);
   CoDelParams ParamsFor(StationId station) const;
 
-  std::function<TimeUs()> clock_;
+  InlineFunction<TimeUs()> clock_;
   Config config_;
-  std::function<CoDelParams(StationId)> codel_params_;
+  InlineFunction<CoDelParams(StationId)> codel_params_;
   std::vector<FlowQueue> pool_;
   std::unordered_map<int, std::unique_ptr<TidQueue>> tids_;  // key: station * kNumTids + tid.
   IntrusiveList<FlowQueue, &FlowQueue::backlog_node> backlogged_;

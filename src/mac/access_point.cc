@@ -1,9 +1,9 @@
 #include "src/mac/access_point.h"
 
-#include <cassert>
 #include <utility>
 
 #include "src/mac/wifi_constants.h"
+#include "src/util/check.h"
 #include "src/util/logging.h"
 
 namespace airfair {
@@ -34,7 +34,7 @@ void AccessPoint::EnsureStationStats(StationId station) {
 }
 
 void AccessPoint::FromWire(PacketPtr packet) {
-  assert(backend_ != nullptr);
+  AF_CHECK(backend_ != nullptr) << " access point has no queue backend";
   const StationId station = stations_->FromNode(packet->flow.dst_node);
   if (station == kNoStation) {
     ++unroutable_;

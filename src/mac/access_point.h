@@ -15,8 +15,8 @@
 
 #include <array>
 #include <deque>
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/mac/ap_backend.h"
@@ -24,6 +24,7 @@
 #include "src/mac/reorder.h"
 #include "src/mac/station_table.h"
 #include "src/sim/simulation.h"
+#include "src/util/inline_function.h"
 #include "src/util/stats.h"
 
 namespace airfair {
@@ -39,6 +40,7 @@ class AccessPoint {
   // Must be set before traffic flows.
   void SetBackend(std::unique_ptr<ApQueueBackend> backend);
   ApQueueBackend* backend() { return backend_.get(); }
+  const ApQueueBackend* backend() const { return backend_.get(); }
 
   uint32_t node_id() const { return node_id_; }
 
@@ -47,7 +49,7 @@ class AccessPoint {
 
   // Uplink: packets received over the air addressed beyond the AP.
   void FromWifi(PacketPtr packet);
-  void set_wire_egress(std::function<void(PacketPtr)> fn) { wire_egress_ = std::move(fn); }
+  void set_wire_egress(InlineFunction<void(PacketPtr)> fn) { wire_egress_ = std::move(fn); }
 
   // Received-airtime report from the medium (wire this to
   // WifiMedium::set_rx_airtime_handler).
@@ -63,7 +65,7 @@ class AccessPoint {
 
   // Observes every completed downlink transmission with the number of MPDUs
   // the block-ack confirmed. Rate-control integrations hang off this.
-  using TxObserver = std::function<void(const TxDescriptor& tx, int succeeded)>;
+  using TxObserver = InlineFunction<void(const TxDescriptor& tx, int succeeded)>;
   void set_tx_observer(TxObserver observer) { tx_observer_ = std::move(observer); }
 
   int64_t retry_drops() const { return retry_drops_; }
@@ -96,7 +98,7 @@ class AccessPoint {
   uint32_t node_id_;
   std::unique_ptr<ApQueueBackend> backend_;
   std::array<std::unique_ptr<AcFrontEnd>, kNumAccessCategories> fronts_;
-  std::function<void(PacketPtr)> wire_egress_;
+  InlineFunction<void(PacketPtr)> wire_egress_;
   TxObserver tx_observer_;
 
   MacSequencer sequencer_;

@@ -1,6 +1,8 @@
 #include "src/mac/aggregation.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/mac/airtime.h"
 #include "src/mac/wifi_constants.h"

@@ -10,18 +10,18 @@
 #ifndef AIRFAIR_SRC_MAC_AGGREGATION_H_
 #define AIRFAIR_SRC_MAC_AGGREGATION_H_
 
-#include <functional>
 
 #include "src/mac/frame.h"
 #include "src/mac/phy_rate.h"
+#include "src/util/inline_function.h"
 
 namespace airfair {
 
 // Pull interface: PeekBytes returns the size of the next available MPDU's
 // packet, or -1 when exhausted; Pop removes and returns it.
 struct AggregationSource {
-  std::function<int()> peek_bytes;
-  std::function<Mpdu()> pop;
+  InlineFunction<int()> peek_bytes;
+  InlineFunction<Mpdu()> pop;
 };
 
 // Builds one transmission for (station, tid) at `rate`.

@@ -1,13 +1,13 @@
 #include "src/mac/channel_model.h"
+#include "src/util/check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace airfair {
 
 double RequiredSnrDb(int mcs_index) {
-  assert(mcs_index >= 0 && mcs_index <= 15);
+  AF_DCHECK(mcs_index >= 0 && mcs_index <= 15) << " MCS index out of range";
   // Per-stream modulation ladder (BPSK1/2 ... 64QAM5/6); the second spatial
   // stream (MCS 8-15) needs ~3 dB more at the same modulation.
   static const double kPerStream[8] = {2.0, 5.0, 7.5, 10.5, 14.0, 18.0, 19.5, 21.0};

@@ -1,9 +1,9 @@
 #include "src/mac/medium.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/logging.h"
 
 namespace airfair {
@@ -22,7 +22,7 @@ WifiMedium::ContenderId WifiMedium::Register(MediumClient* client, const EdcaPar
 }
 
 void WifiMedium::SetErrorModel(StationId station,
-                               std::function<double(const PhyRate&)> model) {
+                               InlineFunction<double(const PhyRate&)> model) {
   if (station >= static_cast<StationId>(error_model_by_station_.size())) {
     error_model_by_station_.resize(static_cast<size_t>(station) + 1);
   }
@@ -67,7 +67,7 @@ void WifiMedium::NotifyBacklog(ContenderId id) {
 }
 
 void WifiMedium::RestartContention() {
-  assert(!busy_);
+  AF_DCHECK(!busy_) << " transmission started while the medium is busy";
   grant_event_.Cancel();
 
   // Refresh backlog states (clients may have drained).

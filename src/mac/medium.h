@@ -21,12 +21,13 @@
 #define AIRFAIR_SRC_MAC_MEDIUM_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/mac/frame.h"
 #include "src/mac/wifi_constants.h"
 #include "src/sim/simulation.h"
+#include "src/util/inline_function.h"
 #include "src/util/time.h"
 
 namespace airfair {
@@ -70,13 +71,13 @@ class WifiMedium {
   // Delivery of successfully received MPDUs: (packet, transmitter node,
   // receiver node). The transmitter is needed by the receive-side reorder
   // buffer to identify the MAC sequence space.
-  void set_deliver(std::function<void(PacketPtr, uint32_t src_node, uint32_t dst_node)> fn) {
+  void set_deliver(InlineFunction<void(PacketPtr, uint32_t src_node, uint32_t dst_node)> fn) {
     deliver_ = std::move(fn);
   }
 
   // Invoked at completion of every station-originated transmission with the
   // airtime it consumed (models the AP observing received frames).
-  void set_rx_airtime_handler(std::function<void(StationId, AccessCategory, TimeUs)> fn) {
+  void set_rx_airtime_handler(InlineFunction<void(StationId, AccessCategory, TimeUs)> fn) {
     rx_airtime_ = std::move(fn);
   }
 
@@ -84,7 +85,7 @@ class WifiMedium {
   // or as a function of the transmission rate (for SNR-based channel models
   // feeding rate control).
   void SetErrorRate(StationId station, double per_mpdu_error_probability);
-  void SetErrorModel(StationId station, std::function<double(const PhyRate&)> model);
+  void SetErrorModel(StationId station, InlineFunction<double(const PhyRate&)> model);
 
   // --- ground-truth airtime ledger ---
   TimeUs AirtimeUsed(StationId station) const;
@@ -114,9 +115,9 @@ class WifiMedium {
 
   Simulation* sim_;
   std::vector<Contender> contenders_;
-  std::function<void(PacketPtr, uint32_t, uint32_t)> deliver_;
-  std::function<void(StationId, AccessCategory, TimeUs)> rx_airtime_;
-  std::vector<std::function<double(const PhyRate&)>> error_model_by_station_;
+  InlineFunction<void(PacketPtr, uint32_t, uint32_t)> deliver_;
+  InlineFunction<void(StationId, AccessCategory, TimeUs)> rx_airtime_;
+  std::vector<InlineFunction<double(const PhyRate&)>> error_model_by_station_;
   std::vector<TimeUs> airtime_by_station_;
 
   bool busy_ = false;

@@ -1,6 +1,6 @@
 #include "src/mac/phy_rate.h"
+#include "src/util/check.h"
 
-#include <cassert>
 
 namespace airfair {
 
@@ -13,7 +13,7 @@ constexpr double kHt20LgiMbps[8] = {6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.
 }  // namespace
 
 PhyRate McsRate(int mcs_index, bool short_gi) {
-  assert(mcs_index >= 0 && mcs_index <= 15);
+  AF_DCHECK(mcs_index >= 0 && mcs_index <= 15) << " MCS index out of range";
   const int stream_mcs = mcs_index % 8;
   const int streams = mcs_index / 8 + 1;
   double mbps = kHt20LgiMbps[stream_mcs] * streams;

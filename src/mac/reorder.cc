@@ -6,10 +6,10 @@
 
 namespace airfair {
 
-ReorderBuffer::ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver)
+ReorderBuffer::ReorderBuffer(Simulation* sim, InlineFunction<void(PacketPtr)> deliver)
     : ReorderBuffer(sim, std::move(deliver), Config()) {}
 
-ReorderBuffer::ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver,
+ReorderBuffer::ReorderBuffer(Simulation* sim, InlineFunction<void(PacketPtr)> deliver,
                              const Config& config)
     : sim_(sim), deliver_(std::move(deliver)), config_(config) {}
 
@@ -27,7 +27,8 @@ void ReorderBuffer::Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid
 
   const int64_t seq = packet->mac_seq;
   if (seq < stream->expected) {
-    return;  // Duplicate of an already-released frame.
+    ++duplicate_drops_;  // Duplicate of an already-released frame.
+    return;
   }
   if (seq == stream->expected) {
     ++stream->expected;
@@ -73,7 +74,7 @@ void ReorderBuffer::FlushHole(Stream* stream) {
   ReleaseContiguous(stream);
 }
 
-int ReorderBuffer::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int ReorderBuffer::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

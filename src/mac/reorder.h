@@ -20,7 +20,6 @@
 #define AIRFAIR_SRC_MAC_REORDER_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +27,8 @@
 
 #include "src/net/packet.h"
 #include "src/sim/simulation.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 
 namespace airfair {
 
@@ -55,8 +56,8 @@ class ReorderBuffer {
     int window = 64;  // Block-ack window.
   };
 
-  ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver);
-  ReorderBuffer(Simulation* sim, std::function<void(PacketPtr)> deliver, const Config& config);
+  ReorderBuffer(Simulation* sim, InlineFunction<void(PacketPtr)> deliver);
+  ReorderBuffer(Simulation* sim, InlineFunction<void(PacketPtr)> deliver, const Config& config);
 
   // Accepts an MPDU from (transmitter_node, tid); releases in-order packets
   // to the delivery function. Packets without a MAC sequence number bypass
@@ -65,6 +66,9 @@ class ReorderBuffer {
 
   int64_t held_packets() const { return held_; }
   int64_t timeout_flushes() const { return timeout_flushes_; }
+  // Frames discarded because their sequence number was already released
+  // (retries of MPDUs the receiver had). Feeds the conservation ledger.
+  int64_t duplicate_drops() const { return duplicate_drops_; }
 
   // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
   // violation and returning the violation count:
@@ -75,7 +79,7 @@ class ReorderBuffer {
   //  * the block-ack window bound: the span between the release point and
   //    the highest buffered sequence stays below the configured window;
   //  * the flush timer is armed exactly when a stream holds packets.
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
   // Test-only corruption hook for tests/sim_audit_test.cc.
   void CorruptHeldCountForTesting() { ++held_; }
@@ -93,11 +97,12 @@ class ReorderBuffer {
   void ArmTimer(Stream* stream);
 
   Simulation* sim_;
-  std::function<void(PacketPtr)> deliver_;
+  InlineFunction<void(PacketPtr)> deliver_;
   Config config_;
   std::unordered_map<uint64_t, std::unique_ptr<Stream>> streams_;
   int64_t held_ = 0;
   int64_t timeout_flushes_ = 0;
+  int64_t duplicate_drops_ = 0;
 };
 
 }  // namespace airfair

@@ -1,8 +1,8 @@
 #include "src/net/host.h"
 
-#include <cassert>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/util/stats.h"
 
@@ -15,7 +15,7 @@ Host::~Host() {
 }
 
 void Host::Send(PacketPtr packet) {
-  assert(egress_ && "host egress not wired");
+  AF_CHECK(egress_) << " host egress not wired";
   if (packet->created.IsZero()) {
     packet->created = sim_->now();
   }
@@ -43,6 +43,7 @@ void Host::Deliver(PacketPtr packet) {
     AF_LOG(kDebug) << "node " << node_id_ << ": no endpoint on port " << packet->flow.dst_port;
     return;
   }
+  ++packets_delivered_;
   it->second->Deliver(std::move(packet));
 }
 

@@ -10,12 +10,13 @@
 #define AIRFAIR_SRC_NET_HOST_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "src/net/packet.h"
 #include "src/net/packet_pool.h"
 #include "src/sim/simulation.h"
+#include "src/util/inline_function.h"
 
 namespace airfair {
 
@@ -37,7 +38,7 @@ class Host {
   Simulation* sim() const { return sim_; }
 
   // The topology layer installs the first hop for outgoing packets.
-  void set_egress(std::function<void(PacketPtr)> egress) { egress_ = std::move(egress); }
+  void set_egress(InlineFunction<void(PacketPtr)> egress) { egress_ = std::move(egress); }
 
   // The scenario layer hands every host its simulation's packet pool;
   // without one, NewPacket falls back to the heap (standalone tests).
@@ -48,6 +49,7 @@ class Host {
   // state) when a pool is attached, plain heap otherwise. This is the one
   // packet-creation API traffic sources should use.
   PacketPtr NewPacket() {
+    ++packets_created_;
     if (packet_pool_ != nullptr) {
       return packet_pool_->Allocate();
     }
@@ -72,15 +74,24 @@ class Host {
 
   int64_t undeliverable_count() const { return undeliverable_; }
 
+  // Conservation-ledger tallies (src/scenario/conservation.h): packets this
+  // host injected via NewPacket, and packets that reached a terminal
+  // endpoint here. ICMP echo reflection is neither — the request packet is
+  // reused in place for the reply, so it stays in flight.
+  int64_t packets_created() const { return packets_created_; }
+  int64_t packets_delivered() const { return packets_delivered_; }
+
  private:
   Simulation* sim_;
   uint32_t node_id_;
-  std::function<void(PacketPtr)> egress_;
+  InlineFunction<void(PacketPtr)> egress_;
   PacketPool* packet_pool_ = nullptr;
   std::unordered_map<uint16_t, PacketEndpoint*> ports_;
   uint16_t next_port_ = 40000;
   int64_t undeliverable_ = 0;
   int64_t heap_packets_ = 0;
+  int64_t packets_created_ = 0;
+  int64_t packets_delivered_ = 0;
 };
 
 }  // namespace airfair

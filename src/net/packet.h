@@ -130,6 +130,7 @@ using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 // Allocates a plain heap packet. Used by tests and components that run
 // without a Testbed-owned pool; the deleter handles both origins uniformly.
+// airfair-lint: allow(hot-naked-new): this IS the heap-fallback allocator
 inline PacketPtr NewHeapPacket() { return PacketPtr(new Packet()); }
 
 // Canonical wire sizes (bytes, at the IP layer).

@@ -12,6 +12,7 @@ void PacketDeleter::operator()(Packet* packet) const noexcept {
   if (packet->origin_pool != nullptr) {
     packet->origin_pool->Release(packet);
   } else {
+    // airfair-lint: allow(hot-naked-new): deleter half of NewHeapPacket
     delete packet;
   }
 }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cassert>
 #include <tuple>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/logging.h"
 
 namespace airfair {
@@ -45,7 +45,7 @@ TcpSocket::~TcpSocket() {
 }
 
 void TcpSocket::Connect(uint32_t dst_node, uint16_t dst_port) {
-  assert(state_ == State::kIdle);
+  AF_DCHECK(state_ == State::kIdle) << " Connect on a non-idle socket";
   flow_.dst_node = dst_node;
   flow_.dst_port = dst_port;
   state_ = State::kSynSent;
@@ -104,7 +104,7 @@ void TcpSocket::Establish() {
 }
 
 void TcpSocket::Write(int64_t bytes) {
-  assert(!bulk_);
+  AF_DCHECK(!bulk_) << " SendBytes during a bulk transfer";
   app_limit_ += bytes;
   TrySend();
 }
@@ -499,6 +499,7 @@ void TcpListener::Deliver(PacketPtr packet) {
   // the client's.
   FlowKey reverse{packet->flow.dst_node, packet->flow.src_node, packet->flow.dst_port,
                   packet->flow.src_port, /*protocol=*/6};
+  // airfair-lint: allow(hot-naked-new): private ctor, make_unique cannot reach it
   auto socket = std::unique_ptr<TcpSocket>(new TcpSocket(host_, config_, reverse));
   TcpSocket* raw = socket.get();
   connections_.emplace(packet->flow, std::move(socket));

@@ -14,12 +14,12 @@
 #define AIRFAIR_SRC_NET_TCP_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 
 #include "src/net/host.h"
 #include "src/net/packet.h"
+#include "src/util/inline_function.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
 
@@ -71,13 +71,13 @@ class TcpSocket : public PacketEndpoint {
   void Close();
 
   // --- callbacks ---
-  std::function<void()> on_connected;
+  InlineFunction<void()> on_connected;
   // In-order payload delivered to the application (receiving direction).
-  std::function<void(int64_t bytes)> on_data;
+  InlineFunction<void(int64_t bytes)> on_data;
   // All written data acknowledged (sending direction drained, excl. bulk).
-  std::function<void()> on_drained;
+  InlineFunction<void()> on_drained;
   // FIN from the peer delivered in order.
-  std::function<void()> on_remote_close;
+  InlineFunction<void()> on_remote_close;
 
   // --- introspection / stats ---
   bool connected() const { return state_ == State::kEstablished || state_ == State::kClosing; }
@@ -194,7 +194,7 @@ class TcpListener : public PacketEndpoint {
 
   // Invoked for each new connection, after the SYN (not the final ACK) —
   // install per-socket callbacks here.
-  std::function<void(TcpSocket*)> on_accept;
+  InlineFunction<void(TcpSocket*)> on_accept;
 
   void Deliver(PacketPtr packet) override;
 

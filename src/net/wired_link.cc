@@ -1,6 +1,6 @@
 #include "src/net/wired_link.h"
+#include "src/util/check.h"
 
-#include <cassert>
 #include <utility>
 
 namespace airfair {
@@ -33,7 +33,7 @@ void WiredLink::Direction::StartNext() {
   // fires, the closure's destructor releases the packet.
   sim_->PostAfter(tx_time + config_.one_way_delay,
                   [this, packet = std::move(packet)]() mutable {
-                    assert(deliver_);
+                    AF_DCHECK(deliver_) << " wired link delivery not wired";
                     ++delivered_;
                     deliver_(std::move(packet));
                   });

@@ -13,10 +13,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <utility>
 
 #include "src/net/packet.h"
 #include "src/sim/simulation.h"
+#include "src/util/inline_function.h"
 
 namespace airfair {
 
@@ -35,7 +36,7 @@ class WiredLink {
    public:
     Direction(Simulation* sim, const Config& config) : sim_(sim), config_(config) {}
 
-    void set_deliver(std::function<void(PacketPtr)> deliver) { deliver_ = std::move(deliver); }
+    void set_deliver(InlineFunction<void(PacketPtr)> deliver) { deliver_ = std::move(deliver); }
 
     void Send(PacketPtr packet);
 
@@ -47,7 +48,7 @@ class WiredLink {
 
     Simulation* sim_;
     Config config_;
-    std::function<void(PacketPtr)> deliver_;
+    InlineFunction<void(PacketPtr)> deliver_;
     std::deque<PacketPtr> queue_;
     bool busy_ = false;
     int64_t drops_ = 0;
@@ -58,6 +59,8 @@ class WiredLink {
 
   Direction& forward() { return forward_; }
   Direction& reverse() { return reverse_; }
+  const Direction& forward() const { return forward_; }
+  const Direction& reverse() const { return reverse_; }
 
  private:
   Direction forward_;

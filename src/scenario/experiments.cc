@@ -1,6 +1,8 @@
 #include "src/scenario/experiments.h"
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/apps/voip.h"

@@ -147,7 +147,28 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
     station_table_.GetMutable(tx.station).rate = control->PickRate();
   });
 
+  BuildLedger(config);
   BuildAuditor(config);
+}
+
+void Testbed::BuildLedger(const TestbedConfig& config) {
+  if (!config.packet_pool) {
+    return;  // No pool: no ground-truth in-flight count to balance against.
+  }
+  ledger_ = std::make_unique<PacketLedger>();
+  ledger_->set_pool(&packet_pool_);
+  ledger_->set_access_point(ap_.get());
+  ledger_->set_link(link_.get());
+  ledger_->AddHost(server_host_.get());
+  for (const auto& host : station_hosts_) {
+    ledger_->AddHost(host.get());
+  }
+  for (const auto& station : wifi_stations_) {
+    ledger_->AddStation(station.get());
+  }
+  for (const auto& reorder : reorder_) {
+    ledger_->AddReorder(reorder.get());
+  }
 }
 
 Testbed::~Testbed() {
@@ -171,6 +192,12 @@ void Testbed::BuildAuditor(const TestbedConfig& config) {
       audit_config.interval = TimeUs::FromMilliseconds(ms);
     }
   }
+  // Wall-clock batching for sparse workloads (see Auditor::Config): sweeps
+  // that fire within this many wall milliseconds of the previous executed
+  // batch are skipped. AIRFAIR_AUDIT_WALL_MS=0 disables batching.
+  if (const char* env = std::getenv("AIRFAIR_AUDIT_WALL_MS"); env != nullptr) {
+    audit_config.min_wall_interval_ms = std::atof(env);
+  }
   auditor_ = std::make_unique<Auditor>(&sim_.loop(), audit_config);
   // Failure messages gain simulated-timestamp context while this testbed is
   // alive (cleared in the destructor).
@@ -178,6 +205,12 @@ void Testbed::BuildAuditor(const TestbedConfig& config) {
   SetCheckTimeProvider([loop] { return loop->now(); });
 
   auditor_->WatchEventLoop();
+  if (ledger_ != nullptr) {
+    PacketLedger* ledger = ledger_.get();
+    auditor_->AddCheck("conservation", [ledger](const Auditor::FailFn& fail) {
+      ledger->CheckInvariants(fail);
+    });
+  }
   if (mac_backend_ != nullptr) {
     mac_backend_->RegisterAudits(auditor_.get());
   }

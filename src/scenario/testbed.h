@@ -27,6 +27,7 @@
 #include "src/net/host.h"
 #include "src/net/packet_pool.h"
 #include "src/net/wired_link.h"
+#include "src/scenario/conservation.h"
 #include "src/sim/audit.h"
 #include "src/sim/simulation.h"
 
@@ -134,8 +135,13 @@ class Testbed {
   // The invariant auditor, or nullptr when auditing is disabled.
   Auditor* auditor() { return auditor_.get(); }
 
+  // The packet-conservation ledger, or nullptr when the packet pool is
+  // disabled (without pool bookkeeping there is no in-flight ground truth).
+  PacketLedger* ledger() { return ledger_.get(); }
+
  private:
   void BuildBackend(const TestbedConfig& config);
+  void BuildLedger(const TestbedConfig& config);
   void BuildAuditor(const TestbedConfig& config);
 
   // Declared before sim_ on purpose: members destroy in reverse order, so
@@ -156,6 +162,7 @@ class Testbed {
   std::vector<std::unique_ptr<ReorderBuffer>> reorder_;
   std::vector<std::unique_ptr<MinstrelRateControl>> rate_controls_;
   std::unique_ptr<Auditor> auditor_;
+  std::unique_ptr<PacketLedger> ledger_;
   // Non-owning views of the backend for audit registration.
   MacQueueBackend* mac_backend_ = nullptr;
   QdiscBackend* qdisc_backend_ = nullptr;

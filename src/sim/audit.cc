@@ -1,5 +1,6 @@
 #include "src/sim/audit.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -37,17 +38,40 @@ void Auditor::Start() {
 void Auditor::Stop() { timer_.Cancel(); }
 
 void Auditor::Sweep() {
-  RunChecksNow();
+  // Wall-clock batching (sparse-workload cadence fix): when simulated time
+  // races ahead of wall time — long idle gaps between events — running the
+  // full check battery every simulated interval would dominate the run. A
+  // sweep that fires within min_wall_interval_ms of the previous executed
+  // batch is skipped; the dense-run cadence is unchanged because dense
+  // intervals always cost more wall time than the batching window.
+  bool run = true;
+  if (config_.min_wall_interval_ms > 0 && has_checked_) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  last_checked_wall_)
+            .count();
+    run = elapsed_ms >= config_.min_wall_interval_ms;
+  }
+  if (run) {
+    RunChecksNow();
+  } else {
+    ++batched_sweeps_;
+    GetCounter("audit.sweeps.batched").Increment();
+  }
   timer_ = loop_->ScheduleAfter(config_.interval, [this] { Sweep(); });
 }
 
 int Auditor::RunChecksNow() {
   int found = 0;
   const TimeUs now = loop_->now();
+  last_checked_wall_ = std::chrono::steady_clock::now();
+  has_checked_ = true;
   for (const auto& [name, check] : checks_) {
     ++checks_run_;
     GetCounter("audit.checks").Increment();
-    const FailFn fail = [&](const std::string& message) {
+    // Concrete lambda on this stack frame; handed to the check as a
+    // non-owning FailFn, so recording costs no allocation per check.
+    const auto record = [&](const std::string& message) {
       ++found;
       ++violations_;
       GetCounter("audit.violations").Increment();
@@ -58,7 +82,7 @@ int Auditor::RunChecksNow() {
       AF_LOG(kError) << "audit violation [" << name << "] at t=" << now.us() << "us: "
                      << message;
     };
-    check(fail);
+    check(FailFn(record));
   }
   ++passes_;
   GetCounter("audit.passes").Increment();

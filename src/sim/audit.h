@@ -39,13 +39,15 @@
 #ifndef AIRFAIR_SRC_SIM_AUDIT_H_
 #define AIRFAIR_SRC_SIM_AUDIT_H_
 
+#include <chrono>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/sim/event_loop.h"
+#include "src/util/function_ref.h"
+#include "src/util/inline_function.h"
 #include "src/util/time.h"
 
 namespace airfair {
@@ -68,6 +70,17 @@ class Auditor {
     bool fatal = true;
     // Cap on retained AuditViolation records (counters keep exact totals).
     size_t max_recorded = 256;
+    // Wall-clock batching for sparse workloads: when > 0, a sweep whose
+    // predecessor executed less than this many wall-clock milliseconds ago
+    // is *batched* — the sweep is skipped (counted in batched_sweeps() and
+    // the audit.sweeps.batched counter) and the timer simply re-arms. Dense
+    // runs, where each simulated interval costs real wall time, are
+    // unaffected and keep the exact AIRFAIR_AUDIT_INTERVAL_MS cadence; idle
+    // simulated stretches (30-station sparse-traffic runs skip hundreds of
+    // simulated milliseconds in microseconds of wall time) collapse to one
+    // check batch per wall-clock window instead of one per simulated
+    // interval. 0 disables batching (every sweep runs its checks).
+    double min_wall_interval_ms = 0.0;
   };
 
   // The auditor observes the loop; both must outlive it. Stops on
@@ -80,8 +93,12 @@ class Auditor {
   Auditor& operator=(const Auditor&) = delete;
 
   // A check receives a fail callback and calls it once per violation found.
-  using FailFn = std::function<void(const std::string&)>;
-  using CheckFn = std::function<void(const FailFn&)>;
+  // FailFn is non-owning (util::FunctionRef): the auditor materialises the
+  // recording lambda on its stack for each sweep, so checks must not retain
+  // the reference past the call. Checks themselves are owned long-term, so
+  // they use the inline-storage callable wrapper.
+  using FailFn = AuditFailFn;
+  using CheckFn = InlineFunction<void(const FailFn&)>;
 
   // Registers a named invariant check; it runs on every sweep. Names feed
   // the audit.violations.<name> counter, so keep them stable.
@@ -103,6 +120,8 @@ class Auditor {
   int64_t passes() const { return passes_; }
   int64_t checks_run() const { return checks_run_; }
   int64_t violations() const { return violations_; }
+  // Sweeps skipped by Config::min_wall_interval_ms batching.
+  int64_t batched_sweeps() const { return batched_sweeps_; }
   bool running() const { return timer_.pending(); }
 
   // Most recent violations, oldest first, capped at Config::max_recorded.
@@ -119,6 +138,11 @@ class Auditor {
   int64_t passes_ = 0;
   int64_t checks_run_ = 0;
   int64_t violations_ = 0;
+  int64_t batched_sweeps_ = 0;
+  // Wall-clock timestamp of the last sweep that actually ran its checks
+  // (for Config::min_wall_interval_ms batching).
+  std::chrono::steady_clock::time_point last_checked_wall_{};
+  bool has_checked_ = false;
 };
 
 // True when invariant auditing should be on by default: the build defined

@@ -21,9 +21,9 @@ EventLoop::~EventLoop() {
   GetCounter("sim.simulated_us").Increment(now_.us());
 }
 
-std::shared_ptr<bool> EventLoop::AcquireToken() {
+CancelToken EventLoop::AcquireToken() {
   if (!token_pool_.empty()) {
-    std::shared_ptr<bool> token = std::move(token_pool_.back());
+    CancelToken token = std::move(token_pool_.back());
     token_pool_.pop_back();
     *token = false;
     ++tokens_recycled_;
@@ -33,7 +33,7 @@ std::shared_ptr<bool> EventLoop::AcquireToken() {
   return std::make_shared<bool>(false);
 }
 
-void EventLoop::ReleaseToken(std::shared_ptr<bool>&& token) {
+void EventLoop::ReleaseToken(CancelToken&& token) {
   // Only recycle when the loop holds the sole reference: a live EventHandle
   // could otherwise observe a recycled token flipping back to "pending".
   if (token.use_count() == 1) {
@@ -45,7 +45,7 @@ void EventLoop::ReleaseToken(std::shared_ptr<bool>&& token) {
 
 EventHandle EventLoop::ScheduleAt(TimeUs when, EventFn fn) {
   AF_CHECK_GE(when.us(), now_.us()) << " cannot schedule in the past";
-  std::shared_ptr<bool> cancelled = AcquireToken();
+  CancelToken cancelled = AcquireToken();
   EventHandle handle(cancelled);
   ++scheduled_events_;
   heap_.push_back(Event{when, next_seq_++, std::move(fn), std::move(cancelled)});
@@ -125,7 +125,7 @@ bool EventLoop::RunOne() {
   return false;
 }
 
-int EventLoop::CheckInvariants(const std::function<void(const std::string&)>& fail) const {
+int EventLoop::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
     ++violations;

@@ -24,11 +24,12 @@
 #define AIRFAIR_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/util/function_ref.h"
 #include "src/util/inline_function.h"
 #include "src/util/time.h"
 
@@ -38,6 +39,13 @@ namespace airfair {
 // simulator's hot-path closures (a this-pointer, a moved PacketPtr, and a
 // couple of scalars); anything larger transparently falls back to the heap.
 using EventFn = InlineFunction<void(), 48>;
+
+// Cancellation token shared between the loop and at most one EventHandle.
+// Shared ownership is the point: the loop recycles a token into its pool
+// only once it holds the sole reference, so a live handle can never observe
+// a recycled token flip back to "pending".
+// airfair-lint: allow(hot-shared-ptr): pooled cancellation token; loop and handle share ownership by design
+using CancelToken = std::shared_ptr<bool>;
 
 // Cancellation handle for a scheduled event. Copyable; cancelling twice is
 // harmless. A default-constructed handle refers to nothing.
@@ -58,9 +66,9 @@ class EventHandle {
 
  private:
   friend class EventLoop;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  explicit EventHandle(CancelToken state) : state_(std::move(state)) {}
 
-  std::shared_ptr<bool> state_;  // true = cancelled-or-fired
+  CancelToken state_;  // true = cancelled-or-fired
 };
 
 class EventLoop {
@@ -122,14 +130,14 @@ class EventLoop {
   // token is *not* a violation.)
   // Returns the number of violations found. Read-only; safe to call from an
   // audit event while the loop runs.
-  int CheckInvariants(const std::function<void(const std::string&)>& fail) const;
+  int CheckInvariants(AuditFailFn fail) const;
 
  private:
   struct Event {
     TimeUs when;
     uint64_t seq;
     EventFn fn;
-    std::shared_ptr<bool> cancelled;  // nullptr for detached (Post*) events.
+    CancelToken cancelled;  // nullptr for detached (Post*) events.
   };
 
   // Min-heap on (when, seq) via the std heap algorithms (which build a
@@ -149,8 +157,8 @@ class EventLoop {
   // Token free list: AcquireToken reuses a previously released token when
   // possible; ReleaseToken returns a token to the pool iff the loop holds
   // the only reference (no live EventHandle still observes it).
-  std::shared_ptr<bool> AcquireToken();
-  void ReleaseToken(std::shared_ptr<bool>&& token);
+  CancelToken AcquireToken();
+  void ReleaseToken(CancelToken&& token);
 
   TimeUs now_ = TimeUs::Zero();
   TimeUs last_dispatched_ = TimeUs::Zero();
@@ -161,7 +169,7 @@ class EventLoop {
   int64_t tokens_recycled_ = 0;
   uint64_t next_seq_ = 0;
   std::vector<Event> heap_;
-  std::vector<std::shared_ptr<bool>> token_pool_;
+  std::vector<CancelToken> token_pool_;
 };
 
 }  // namespace airfair

@@ -8,6 +8,7 @@
 #define AIRFAIR_SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"

@@ -24,6 +24,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "src/util/time.h"
 

@@ -1,0 +1,60 @@
+// FunctionRef: a non-owning, trivially-copyable reference to a callable.
+//
+// The simulator's audit plumbing threads a `fail` callback through every
+// component's CheckInvariants method, and several hot-path algorithms
+// (CoDel's pull/drop hooks, the airtime scheduler's has-data probe) take a
+// callable parameter that is only invoked for the duration of the call.
+// std::function is the wrong vehicle for those: it owns (and may heap-
+// allocate) a copy of the target just to make a call that never outlives the
+// caller's stack frame.
+//
+// FunctionRef is the standard fix (cf. llvm::function_ref / C++26
+// std::function_ref): two words, no allocation, implicit construction from
+// any callable. Because it does not own its target, it must never be stored
+// beyond the call it was passed into — use util::InlineFunction for owned,
+// long-lived callables.
+
+#ifndef AIRFAIR_SRC_UTIL_FUNCTION_REF_H_
+#define AIRFAIR_SRC_UTIL_FUNCTION_REF_H_
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace airfair {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F, typename D = std::remove_reference_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                                        std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function_ref.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  FunctionRef(const FunctionRef&) noexcept = default;
+  FunctionRef& operator=(const FunctionRef&) noexcept = default;
+
+  R operator()(Args... args) const { return invoke_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+// The signature every component invariant check receives: call once per
+// violation with a human-readable description. Non-owning on purpose — the
+// auditor materialises the recording lambda on its own stack for each sweep.
+using AuditFailFn = FunctionRef<void(const std::string&)>;
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_UTIL_FUNCTION_REF_H_

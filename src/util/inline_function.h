@@ -75,8 +75,11 @@ class InlineFunction<R(Args...), InlineBytes> {
 
   explicit operator bool() const { return invoke_ != nullptr; }
 
-  R operator()(Args... args) {
-    return invoke_(static_cast<void*>(storage_), std::forward<Args>(args)...);
+  // Const-callable like std::function: invoking does not mutate the wrapper
+  // itself, and targets are invoked as non-const (the wrapper owns them).
+  R operator()(Args... args) const {
+    return invoke_(const_cast<void*>(static_cast<const void*>(storage_)),
+                   std::forward<Args>(args)...);
   }
 
   // True when the target lives in the inline buffer (no heap allocation).

@@ -9,11 +9,12 @@
 #ifndef AIRFAIR_SRC_UTIL_INTRUSIVE_LIST_H_
 #define AIRFAIR_SRC_UTIL_INTRUSIVE_LIST_H_
 
-#include <cassert>
 #include <cstddef>
-#include <functional>
 #include <sstream>
 #include <string>
+
+#include "src/util/check.h"
+#include "src/util/function_ref.h"
 
 namespace airfair {
 
@@ -84,7 +85,7 @@ class IntrusiveList {
   // Appends `item` to the tail. The item must not currently be on any list.
   void PushBack(T* item) {
     ListNode* node = &(item->*Member);
-    assert(!node->linked());
+    AF_DCHECK(!node->linked()) << " PushBack of an already-linked node";
     node->owner_ = item;
     node->prev_ = head_.prev_;
     node->next_ = &head_;
@@ -95,7 +96,7 @@ class IntrusiveList {
   // Prepends `item` to the head. The item must not currently be on any list.
   void PushFront(T* item) {
     ListNode* node = &(item->*Member);
-    assert(!node->linked());
+    AF_DCHECK(!node->linked()) << " PushFront of an already-linked node";
     node->owner_ = item;
     node->next_ = head_.next_;
     node->prev_ = &head_;
@@ -148,6 +149,9 @@ class IntrusiveList {
   };
 
   Iterator begin() const { return Iterator(head_.next_); }
+  // Classic sentinel-iterator idiom; the iterator never writes through the
+  // head pointer it receives.
+  // airfair-lint: allow(no-const-cast): const sentinel address reused as iterator anchor
   Iterator end() const { return Iterator(const_cast<ListNode*>(&head_)); }
 
   // Structural integrity audit: verifies that forward and backward links
@@ -156,7 +160,7 @@ class IntrusiveList {
   // `kMaxAuditLength` hops (a broken Unlink can otherwise form a cycle that
   // never returns to the head). Calls `fail` once per problem; returns the
   // number of problems found. Read-only.
-  int CheckIntegrity(const std::function<void(const std::string&)>& fail) const {
+  int CheckIntegrity(AuditFailFn fail) const {
     static constexpr size_t kMaxAuditLength = size_t{1} << 24;
     int violations = 0;
     size_t index = 0;

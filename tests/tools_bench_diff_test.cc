@@ -1,0 +1,189 @@
+// Tests for the perf-regression gate (tools/analyze/bench_diff.h): both
+// input formats parse, a baseline diffed against itself always passes, a
+// synthetic 2x events/s regression fails, improvements never fail, and the
+// tolerance bands / require_all semantics behave as documented.
+
+#include "tools/analyze/bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace airfair {
+namespace analyze {
+namespace {
+
+// A JSONL perf record in the shape bench_util.h emits.
+std::string PerfRecord(const std::string& bench, double events, double ratio, double pooled,
+                       double heap) {
+  return "{\"bench\":\"" + bench + "\",\"schema\":1,\"events_per_wall_sec\":" +
+         std::to_string(events) + ",\"sim_wall_ratio\":" + std::to_string(ratio) +
+         ",\"packets_pooled\":" + std::to_string(pooled) +
+         ",\"packets_heap\":" + std::to_string(heap) + "}\n";
+}
+
+const char kGbench[] = R"({
+  "context": {"date": "2026-08-06", "host_name": "ci"},
+  "benchmarks": [
+    {"name": "BM_Enqueue", "run_type": "iteration", "real_time": 100.0,
+     "time_unit": "ns", "items_per_second": 1.0e7},
+    {"name": "BM_Enqueue_mean", "run_type": "aggregate", "real_time": 101.0},
+    {"name": "BM_Dequeue", "run_type": "iteration", "real_time": 50.0}
+  ]
+})";
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+TEST(BenchDiffParse, JsonlLastRecordPerBenchWins) {
+  BenchRecords records;
+  std::string error;
+  const std::string text = PerfRecord("fig05", 1e6, 100.0, 900, 100) +
+                           "\n" +  // Blank lines are fine.
+                           PerfRecord("fig05", 2e6, 200.0, 1000, 0);
+  ASSERT_TRUE(ParseBenchRecords(text, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records["fig05"]["events_per_wall_sec"], 2e6);
+  EXPECT_DOUBLE_EQ(records["fig05"]["sim_wall_ratio"], 200.0);
+  EXPECT_DOUBLE_EQ(records["fig05"]["pooled_frac"], 1.0);
+}
+
+TEST(BenchDiffParse, GoogleBenchmarkFormatSkipsAggregates) {
+  BenchRecords records;
+  std::string error;
+  ASSERT_TRUE(ParseBenchRecords(kGbench, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 2u);  // The _mean aggregate row is skipped.
+  EXPECT_DOUBLE_EQ(records["BM_Enqueue"]["real_time"], 100.0);
+  EXPECT_DOUBLE_EQ(records["BM_Enqueue"]["events_per_wall_sec"], 1.0e7);
+  EXPECT_DOUBLE_EQ(records["BM_Dequeue"]["real_time"], 50.0);
+}
+
+TEST(BenchDiffParse, MalformedJsonlReportsLineNumber) {
+  BenchRecords records;
+  std::string error;
+  EXPECT_FALSE(ParseBenchRecords("{\"bench\":\"a\"}\n{not json}\n", &records, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(BenchDiffParse, LoadBenchFileFailsOnMissingPath) {
+  BenchRecords records;
+  std::string error;
+  EXPECT_FALSE(LoadBenchFile("/nonexistent/bench.json", &records, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Diffing.
+
+BenchRecords Baseline() {
+  BenchRecords records;
+  std::string error;
+  EXPECT_TRUE(ParseBenchRecords(PerfRecord("fig05", 1e6, 100.0, 1000, 0) +
+                                    PerfRecord("fig04", 5e5, 50.0, 990, 10),
+                                &records, &error))
+      << error;
+  return records;
+}
+
+TEST(BenchDiff, SelfDiffAlwaysPasses) {
+  const BenchRecords base = Baseline();
+  DiffOptions options;
+  options.require_all = true;
+  const DiffResult result = DiffBenchRecords(base, base, options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_EQ(result.entries.size(), 6u);  // 2 benches x 3 metrics.
+}
+
+TEST(BenchDiff, TwoTimesEventsRegressionFails) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  cand["fig05"]["events_per_wall_sec"] = 0.5e6;  // Halved: far outside 25%.
+  const DiffResult result = DiffBenchRecords(base, cand, DiffOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.regressions, 1);
+  bool found = false;
+  for (const DiffEntry& e : result.entries) {
+    if (e.regression) {
+      found = true;
+      EXPECT_EQ(e.bench, "fig05");
+      EXPECT_EQ(e.metric, "events_per_wall_sec");
+      EXPECT_NEAR(e.change, -0.5, 1e-9);
+      EXPECT_FALSE(e.ToString().empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiff, ImprovementsAndSmallNoiseAreNotRegressions) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  cand["fig05"]["events_per_wall_sec"] = 2e6;   // 2x faster: fine.
+  cand["fig04"]["events_per_wall_sec"] = 4.5e5; // -10%: inside the 25% band.
+  cand["fig04"]["sim_wall_ratio"] = 40.0;       // -20%: inside the 35% band.
+  const DiffResult result = DiffBenchRecords(base, cand, DiffOptions());
+  EXPECT_TRUE(result.ok) << result.regressions;
+}
+
+TEST(BenchDiff, PooledFractionUsesAbsoluteTolerance) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  cand["fig05"]["pooled_frac"] = 0.97;  // -0.03 absolute: inside 0.05.
+  EXPECT_TRUE(DiffBenchRecords(base, cand, DiffOptions()).ok);
+  cand["fig05"]["pooled_frac"] = 0.90;  // -0.10 absolute: regression.
+  const DiffResult result = DiffBenchRecords(base, cand, DiffOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.regressions, 1);
+}
+
+TEST(BenchDiff, RealTimeIsLowerBetter) {
+  BenchRecords base;
+  BenchRecords cand;
+  std::string error;
+  ASSERT_TRUE(ParseBenchRecords(kGbench, &base, &error)) << error;
+  cand = base;
+  cand["BM_Dequeue"]["real_time"] = 25.0;  // 2x faster: fine.
+  EXPECT_TRUE(DiffBenchRecords(base, cand, DiffOptions()).ok);
+  cand["BM_Dequeue"]["real_time"] = 100.0;  // 2x slower: regression.
+  const DiffResult result = DiffBenchRecords(base, cand, DiffOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.regressions, 1);
+}
+
+TEST(BenchDiff, TolerancesAreConfigurable) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  cand["fig05"]["events_per_wall_sec"] = 0.5e6;
+  DiffOptions loose;
+  loose.events_tolerance = 0.6;  // A halving is inside a 60% band.
+  EXPECT_TRUE(DiffBenchRecords(base, cand, loose).ok);
+}
+
+TEST(BenchDiff, MissingBenchFailsOnlyUnderRequireAll) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  cand.erase("fig04");
+  const DiffResult lax = DiffBenchRecords(base, cand, DiffOptions());
+  EXPECT_TRUE(lax.ok);
+  ASSERT_EQ(lax.missing.size(), 1u);
+  EXPECT_EQ(lax.missing[0], "fig04");
+
+  DiffOptions strict;
+  strict.require_all = true;
+  EXPECT_FALSE(DiffBenchRecords(base, cand, strict).ok);
+}
+
+TEST(BenchDiff, CandidateOnlyBenchesAreIgnored) {
+  const BenchRecords base = Baseline();
+  BenchRecords cand = base;
+  std::string error;
+  ASSERT_TRUE(ParseBenchRecords(PerfRecord("fig06_new", 1.0, 1.0, 0, 10), &cand, &error));
+  DiffOptions options;
+  options.require_all = true;
+  EXPECT_TRUE(DiffBenchRecords(base, cand, options).ok);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace airfair

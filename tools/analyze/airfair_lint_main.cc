@@ -1,0 +1,57 @@
+// CLI for the vendored lint engine (tools/analyze/lint.h).
+//
+// Usage: airfair_lint [--root DIR] [--json] [--list-rules] [paths...]
+//   paths default to `src bench tests tools` relative to --root (default .).
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lint.h"
+
+int main(int argc, char** argv) {
+  airfair::analyze::LintOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : airfair::analyze::AllRules()) {
+        std::printf("%-20s %s\n", rule.id.c_str(), rule.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--root needs a directory\n");
+        return 2;
+      }
+      options.repo_root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: airfair_lint [--root DIR] [--json] [--list-rules] [paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) {
+    options.roots = {"src", "bench", "tests", "tools"};
+  }
+
+  const airfair::analyze::LintResult result = airfair::analyze::RunLint(options);
+  if (json) {
+    std::printf("%s\n", airfair::analyze::ResultToJson(result).c_str());
+  } else {
+    for (const auto& finding : result.findings) {
+      std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line, finding.rule.c_str(),
+                  finding.message.c_str());
+    }
+    std::fprintf(stderr, "airfair_lint: %zu finding(s) in %d file(s)\n", result.findings.size(),
+                 result.files_scanned);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,354 @@
+#include "tools/analyze/bench_diff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace airfair {
+namespace analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (null/bool/number/string/array/
+// object). Just enough for bench records; numbers become double.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (!ParseValue(out)) {
+      *error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing content at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    error_ = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u':
+            // Keep it simple: skip the four hex digits, substitute '?'.
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            pos_ += 4;
+            *out += '?';
+            break;
+          default: *out += esc;
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        SkipSpace();
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+double NumberOr(const JsonValue& record, const std::string& key, double fallback) {
+  const JsonValue* value = record.Get(key);
+  return value != nullptr && value->type == JsonValue::Type::kNumber ? value->number : fallback;
+}
+
+// One bench_util.h JSONL record -> normalised metrics.
+void AddPerfRecord(const JsonValue& record, BenchRecords* records) {
+  const JsonValue* name = record.Get("bench");
+  if (name == nullptr || name->type != JsonValue::Type::kString) return;
+  MetricMap metrics;
+  const double events = NumberOr(record, "events_per_wall_sec", -1.0);
+  if (events >= 0) metrics["events_per_wall_sec"] = events;
+  const double ratio = NumberOr(record, "sim_wall_ratio", -1.0);
+  if (ratio >= 0) metrics["sim_wall_ratio"] = ratio;
+  const double pooled = NumberOr(record, "packets_pooled", -1.0);
+  const double heap = NumberOr(record, "packets_heap", -1.0);
+  if (pooled >= 0 && heap >= 0 && pooled + heap > 0) {
+    metrics["pooled_frac"] = pooled / (pooled + heap);
+  }
+  if (!metrics.empty()) (*records)[name->str] = std::move(metrics);  // Last record wins.
+}
+
+// google-benchmark "benchmarks" array entry -> normalised metrics.
+void AddGbenchRecord(const JsonValue& record, BenchRecords* records) {
+  const JsonValue* name = record.Get("name");
+  if (name == nullptr || name->type != JsonValue::Type::kString) return;
+  if (const JsonValue* run_type = record.Get("run_type");
+      run_type != nullptr && run_type->str != "iteration") {
+    return;  // Skip aggregate rows (mean/median/stddev).
+  }
+  MetricMap metrics;
+  const double real_time = NumberOr(record, "real_time", -1.0);
+  if (real_time >= 0) metrics["real_time"] = real_time;
+  const double items = NumberOr(record, "items_per_second", -1.0);
+  if (items >= 0) metrics["events_per_wall_sec"] = items;
+  if (!metrics.empty()) (*records)[name->str] = std::move(metrics);
+}
+
+}  // namespace
+
+bool ParseBenchRecords(const std::string& text, BenchRecords* records, std::string* error) {
+  // Auto-detect: a whole-text parse that yields an object with a
+  // "benchmarks" array is google-benchmark output; otherwise treat the text
+  // as JSONL, one record per non-empty line.
+  {
+    JsonValue root;
+    std::string parse_error;
+    if (JsonParser(text).Parse(&root, &parse_error) &&
+        root.type == JsonValue::Type::kObject) {
+      const JsonValue* benchmarks = root.Get("benchmarks");
+      if (benchmarks != nullptr && benchmarks->type == JsonValue::Type::kArray) {
+        for (const JsonValue& entry : benchmarks->array) {
+          AddGbenchRecord(entry, records);
+        }
+        return true;
+      }
+      // A single JSONL-style record on one line parses as an object too.
+      AddPerfRecord(root, records);
+      return true;
+    }
+  }
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  bool any = false;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    bool blank = true;
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    JsonValue record;
+    std::string parse_error;
+    if (!JsonParser(line).Parse(&record, &parse_error)) {
+      *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    AddPerfRecord(record, records);
+    any = true;
+  }
+  if (!any) {
+    *error = "no bench records found";
+    return false;
+  }
+  return true;
+}
+
+bool LoadBenchFile(const std::string& path, BenchRecords* records, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!ParseBenchRecords(buffer.str(), records, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string DiffEntry::ToString() const {
+  std::ostringstream out;
+  out << bench << " " << metric << ": " << baseline << " -> " << candidate << " ("
+      << (change >= 0 ? "+" : "") << change * 100.0 << "%"
+      << (regression ? ", REGRESSION" : "") << ")";
+  return out.str();
+}
+
+DiffResult DiffBenchRecords(const BenchRecords& baseline, const BenchRecords& candidate,
+                            const DiffOptions& options) {
+  DiffResult result;
+  for (const auto& [name, base_metrics] : baseline) {
+    const auto cand_it = candidate.find(name);
+    if (cand_it == candidate.end()) {
+      result.missing.push_back(name);
+      continue;
+    }
+    for (const auto& [metric, base_value] : base_metrics) {
+      const auto metric_it = cand_it->second.find(metric);
+      if (metric_it == cand_it->second.end()) continue;
+      const double cand_value = metric_it->second;
+      DiffEntry entry;
+      entry.bench = name;
+      entry.metric = metric;
+      entry.baseline = base_value;
+      entry.candidate = cand_value;
+      if (metric == "pooled_frac") {
+        entry.change = cand_value - base_value;  // Absolute band.
+        entry.regression = entry.change < -options.pool_tolerance;
+      } else if (metric == "real_time") {
+        entry.change = base_value > 0 ? (cand_value - base_value) / base_value : 0.0;
+        entry.regression = entry.change > options.time_tolerance;  // Lower is better.
+      } else {
+        const double tolerance = metric == "sim_wall_ratio" ? options.ratio_tolerance
+                                                            : options.events_tolerance;
+        entry.change = base_value > 0 ? (cand_value - base_value) / base_value : 0.0;
+        entry.regression = entry.change < -tolerance;  // Higher is better.
+      }
+      if (entry.regression) ++result.regressions;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.ok = result.regressions == 0 && (!options.require_all || result.missing.empty());
+  return result;
+}
+
+}  // namespace analyze
+}  // namespace airfair

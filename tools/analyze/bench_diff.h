@@ -1,0 +1,83 @@
+// bench_diff: the perf-regression gate over the repo's bench JSON records.
+//
+// The bench harnesses emit two formats:
+//   * JSONL perf records (bench_util.h, AIRFAIR_BENCH_JSON=path): one object
+//     per line with events_per_wall_sec, sim_wall_ratio and packet-pool
+//     tallies — the checked-in BENCH_figs.json baseline;
+//   * google-benchmark --benchmark_format=json output: a top-level object
+//     with a "benchmarks" array — the checked-in BENCH_hotpaths.json
+//     baseline.
+//
+// bench_diff parses both (auto-detected), normalises them to named metric
+// sets, and compares a candidate run against a baseline with per-metric
+// tolerance bands:
+//   events_per_wall_sec  higher is better, relative tolerance (default 25%)
+//   sim_wall_ratio       higher is better, relative tolerance (default 35%)
+//   pooled_frac          packets_pooled / (packets_pooled + packets_heap),
+//                        higher is better, absolute tolerance (default 0.05)
+//   real_time            google-benchmark ns/iter, lower is better,
+//                        relative tolerance (default 35%)
+//
+// Appending runs to one JSONL file is the normal workflow, so the *last*
+// record per bench name wins. Benches present only in the candidate are
+// ignored (new benchmarks are not regressions); benches missing from the
+// candidate are reported and fail the diff under require_all.
+//
+// Exit codes (binary): 0 within tolerance, 1 regression, 2 usage/parse
+// error. A baseline diffed against itself always passes.
+
+#ifndef AIRFAIR_TOOLS_ANALYZE_BENCH_DIFF_H_
+#define AIRFAIR_TOOLS_ANALYZE_BENCH_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace airfair {
+namespace analyze {
+
+// One named benchmark's metrics: metric id -> value.
+using MetricMap = std::map<std::string, double>;
+
+// name -> metrics, last record per name wins.
+using BenchRecords = std::map<std::string, MetricMap>;
+
+// Parses either supported format from `text`. Returns false (with *error
+// set) on malformed input.
+bool ParseBenchRecords(const std::string& text, BenchRecords* records, std::string* error);
+
+// Reads and parses `path`. Returns false with *error on I/O or parse error.
+bool LoadBenchFile(const std::string& path, BenchRecords* records, std::string* error);
+
+struct DiffOptions {
+  double events_tolerance = 0.25;     // Relative, events_per_wall_sec.
+  double ratio_tolerance = 0.35;      // Relative, sim_wall_ratio.
+  double pool_tolerance = 0.05;       // Absolute, pooled_frac.
+  double time_tolerance = 0.35;       // Relative, real_time (lower better).
+  bool require_all = false;           // Baseline benches must all be present.
+};
+
+struct DiffEntry {
+  std::string bench;
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double change = 0.0;  // Signed relative (or absolute for pooled_frac).
+  bool regression = false;
+  std::string ToString() const;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;          // Every compared metric.
+  std::vector<std::string> missing;        // Baseline benches absent from candidate.
+  int regressions = 0;
+  bool ok = true;  // No regressions (and no missing benches under require_all).
+};
+
+DiffResult DiffBenchRecords(const BenchRecords& baseline, const BenchRecords& candidate,
+                            const DiffOptions& options);
+
+}  // namespace analyze
+}  // namespace airfair
+
+#endif  // AIRFAIR_TOOLS_ANALYZE_BENCH_DIFF_H_

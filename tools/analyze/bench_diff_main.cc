@@ -1,0 +1,82 @@
+// CLI for the perf-regression gate (tools/analyze/bench_diff.h).
+//
+// Usage: bench_diff --baseline FILE --candidate FILE
+//                   [--events-tol F] [--ratio-tol F] [--pool-tol F]
+//                   [--time-tol F] [--require-all] [--verbose]
+// Exit codes: 0 within tolerance, 1 regression, 2 usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tools/analyze/bench_diff.h"
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  airfair::analyze::DiffOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--candidate") {
+      candidate_path = next();
+    } else if (arg == "--events-tol") {
+      options.events_tolerance = std::atof(next());
+    } else if (arg == "--ratio-tol") {
+      options.ratio_tolerance = std::atof(next());
+    } else if (arg == "--pool-tol") {
+      options.pool_tolerance = std::atof(next());
+    } else if (arg == "--time-tol") {
+      options.time_tolerance = std::atof(next());
+    } else if (arg == "--require-all") {
+      options.require_all = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_diff --baseline FILE --candidate FILE [--events-tol F] "
+          "[--ratio-tol F] [--pool-tol F] [--time-tol F] [--require-all] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr, "bench_diff: --baseline and --candidate are required\n");
+    return 2;
+  }
+
+  airfair::analyze::BenchRecords baseline;
+  airfair::analyze::BenchRecords candidate;
+  std::string error;
+  if (!airfair::analyze::LoadBenchFile(baseline_path, &baseline, &error) ||
+      !airfair::analyze::LoadBenchFile(candidate_path, &candidate, &error)) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  const airfair::analyze::DiffResult result =
+      airfair::analyze::DiffBenchRecords(baseline, candidate, options);
+  for (const auto& entry : result.entries) {
+    if (entry.regression || verbose) {
+      std::printf("%s\n", entry.ToString().c_str());
+    }
+  }
+  for (const auto& name : result.missing) {
+    std::fprintf(stderr, "bench_diff: baseline bench '%s' missing from candidate%s\n",
+                 name.c_str(), options.require_all ? " (fatal)" : "");
+  }
+  std::fprintf(stderr, "bench_diff: %zu metric(s) compared, %d regression(s)\n",
+               result.entries.size(), result.regressions);
+  return result.ok ? 0 : 1;
+}

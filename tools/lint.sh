@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Lint entry point for the airfair simulator.
 #
-# Runs clang-format (check mode) and clang-tidy over the C++ sources when the
-# tools are installed, and degrades gracefully (skip + note, exit 0) when they
-# are not, so the script is safe to call from environments that only carry the
-# gcc toolchain. CI installs both tools and passes --require so a missing tool
-# there is an error rather than a skip.
+# Runs the project's own airfair_lint (always — it builds with the project,
+# no LLVM needed), then clang-format (check mode) and clang-tidy over the C++
+# sources when those tools are installed, degrading gracefully (skip + note,
+# exit 0) when they are not, so the script is safe to call from environments
+# that only carry the gcc toolchain. CI installs both LLVM tools and passes
+# --require so a missing tool there is an error rather than a skip.
 #
 # Usage:
 #   tools/lint.sh [--fix] [--require] [--changed-only] [files...]
@@ -69,6 +70,27 @@ if [[ ${#FILES[@]} -eq 0 ]]; then
 fi
 
 STATUS=0
+
+# ---- airfair_lint (vendored, builds with the project) ----------------------
+# Unlike the LLVM tools this one always runs: it needs only the project's own
+# CMake build. Whole-tree by design — it finishes in milliseconds, and rules
+# like core-needs-test and audit-registration are cross-file anyway.
+AF_LINT=""
+for d in build build-asan build-audit build-tsan; do
+  if [[ -x "$d/tools/analyze/airfair_lint" ]]; then AF_LINT="$d/tools/analyze/airfair_lint"; break; fi
+done
+if [[ -z "$AF_LINT" ]]; then
+  note "airfair_lint not built; building it (target airfair_lint)"
+  cmake -B build -S . >/dev/null && cmake --build build --target airfair_lint -j >/dev/null \
+    || { note "failed to build airfair_lint"; exit 2; }
+  AF_LINT="build/tools/analyze/airfair_lint"
+fi
+if ! "$AF_LINT" --root . src bench tests tools; then
+  note "airfair_lint reported findings"
+  STATUS=1
+else
+  note "airfair_lint clean"
+fi
 
 # ---- clang-format ----------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
