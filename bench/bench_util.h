@@ -98,6 +98,32 @@ inline void ApplyBenchAuditEnv() {
   ::setenv("AIRFAIR_AUDIT_INTERVAL_MS", "100", /*overwrite=*/0);
 }
 
+// Surfaces the observability knobs (src/obs): when a trace or timeseries
+// export is requested the Testbeds built by this bench will trace and write
+// artifacts on destruction; note the active paths up front so a bench log
+// records where its artifacts went. Reminder printed for multi-rep runs:
+// every repetition writes through the same path (last finisher wins per
+// {scheme}), so artifact-producing CI runs pin AIRFAIR_REPS=1 /
+// AIRFAIR_THREADS=1 for byte-stable outputs.
+inline void ApplyBenchTraceEnv() {
+  const char* trace_json = std::getenv("AIRFAIR_TRACE_JSON");
+  const char* series_json = std::getenv("AIRFAIR_TIMESERIES_JSON");
+  const bool trace = trace_json != nullptr && *trace_json != '\0';
+  const bool series = series_json != nullptr && *series_json != '\0';
+  if (!trace && !series) {
+    return;
+  }
+  std::printf("[trace] lifecycle tracing on:%s%s%s%s\n",
+              trace ? " chrome=" : "", trace ? trace_json : "",
+              series ? " timeseries=" : "", series ? series_json : "");
+  if (BenchRepetitions() > 1) {
+    std::printf(
+        "[trace] note: %d repetitions share the export paths; set "
+        "AIRFAIR_REPS=1 AIRFAIR_THREADS=1 for stable artifacts\n",
+        BenchRepetitions());
+  }
+}
+
 // Scoped perf reporter: construct once at the top of a bench's main() with
 // the binary's name. On destruction it computes deltas of the process-global
 // perf counters (published by EventLoop / PacketPool / Host destructors) and
@@ -107,6 +133,7 @@ class BenchReporter {
   explicit BenchReporter(std::string name)
       : name_(std::move(name)), wall_start_(std::chrono::steady_clock::now()) {
     ApplyBenchAuditEnv();
+    ApplyBenchTraceEnv();
     for (const auto& [key, value] : CounterSnapshot()) {
       baseline_[key] = value;
     }

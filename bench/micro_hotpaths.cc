@@ -11,6 +11,7 @@
 #include "src/core/mac_queues.h"
 #include "src/mac/airtime.h"
 #include "src/net/packet_pool.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_loop.h"
 #include "src/util/flow_hash.h"
 #include "tests/test_util.h"
@@ -121,6 +122,45 @@ void BM_EventLoopScheduleFire(benchmark::State& state) {
   state.SetLabel(keep_handle ? "handle" : "detached");
 }
 BENCHMARK(BM_EventLoopScheduleFire)->Arg(0)->Arg(1);
+
+// Per-event cost of the tracing layer with a ring installed: thread-local
+// buffer load + 48-byte record write through the AF_TRACE_* macro (the same
+// path every instrumented hot-path site takes in a traced run). The ring
+// wraps many times over a benchmark run; overwrite is the steady state.
+void BM_TraceEventAppend(benchmark::State& state) {
+  TraceBuffer::Config config;
+  config.capacity = 1 << 12;
+  TraceBuffer buffer(config);
+  ScopedTraceBuffer scope(&buffer);
+  TimeUs now;
+  int depth = 0;
+  for (auto _ : state) {
+    now += TimeUs(10);
+    depth = (depth + 1) & 63;
+    AF_TRACE_ENQUEUE(now, 3, 0, 1500, depth);
+  }
+  benchmark::DoNotOptimize(buffer.total_appended());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEventAppend);
+
+// The same macro with no buffer installed: what every untraced run pays at
+// each instrumentation site (one thread-local load + branch). This is the
+// number the "tracing compiled in but disabled must not slow the simulator"
+// guarantee rests on; bench_diff gates it like any other hot-path cost.
+void BM_TraceDisabledOverhead(benchmark::State& state) {
+  ScopedTraceBuffer scope(nullptr);  // Explicitly no buffer on this thread.
+  TimeUs now;
+  int depth = 0;
+  for (auto _ : state) {
+    now += TimeUs(10);
+    depth = (depth + 1) & 63;
+    AF_TRACE_ENQUEUE(now, 3, 0, 1500, depth);
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceDisabledOverhead);
 
 void BM_PacketPoolAllocFree(benchmark::State& state) {
   const bool pooled = state.range(0) != 0;

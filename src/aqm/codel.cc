@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace airfair {
 
 TimeUs CoDelState::ControlLaw(TimeUs t, TimeUs interval, uint32_t count) {
@@ -40,12 +42,16 @@ PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullF
                               const DropFn& drop) {
   DodequeueResult r = Dodequeue(now, params, pull);
   if (r.packet == nullptr) {
+    if (dropping_) {
+      AF_TRACE_CODEL_STATE(now, 0, count_, drop_next_.us());
+    }
     dropping_ = false;
     return nullptr;
   }
   if (dropping_) {
     if (!r.ok_to_drop) {
       dropping_ = false;
+      AF_TRACE_CODEL_STATE(now, 0, count_, drop_next_.us());
     } else {
       while (now >= drop_next_ && dropping_) {
         drop(std::move(r.packet));
@@ -54,6 +60,7 @@ PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullF
         r = Dodequeue(now, params, pull);
         if (!r.ok_to_drop) {
           dropping_ = false;
+          AF_TRACE_CODEL_STATE(now, 0, count_, drop_next_.us());
         } else {
           drop_next_ = ControlLaw(drop_next_, params.interval, count_);
         }
@@ -75,6 +82,7 @@ PacketPtr CoDelState::Dequeue(TimeUs now, const CoDelParams& params, const PullF
     }
     lastcount_ = count_;
     drop_next_ = ControlLaw(now, params.interval, count_);
+    AF_TRACE_CODEL_STATE(now, 1, count_, drop_next_.us());
   }
   return std::move(r.packet);
 }

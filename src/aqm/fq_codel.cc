@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/flow_hash.h"
 
@@ -34,18 +35,25 @@ void FqCodelQdisc::DropFromFattest() {
   --total_packets_;
   ++overflow_drops_;
   ++drops_;
+  // The qdisc sits above the driver (host scope), so there is no station
+  // identity to attach; station=-1 marks host-qdisc records.
+  AF_TRACE_OVERFLOW_DROP(clock_(), -1, victim->tid, total_packets_,
+                         victim->size_bytes);
 }
 
 void FqCodelQdisc::Enqueue(PacketPtr packet) {
   const uint64_t h = HashFlow(packet->flow, config_.hash_perturbation);
   FlowQueue& q = queues_[h % queues_.size()];
-  packet->enqueued = clock_();
+  const TimeUs now = clock_();
+  packet->enqueued = now;
   AF_DCHECK_GT(packet->size_bytes, 0);
   max_packet_bytes_seen_ = std::max(max_packet_bytes_seen_, packet->size_bytes);
   ++enqueued_total_;
   q.bytes += packet->size_bytes;
   q.packets.push_back(std::move(packet));
   ++total_packets_;
+  AF_TRACE_ENQUEUE(now, -1, q.packets.back()->tid, q.packets.back()->size_bytes,
+                   total_packets_);
   if (!q.node.linked()) {
     // Queue just became backlogged: it is a "new" flow and gets one
     // priority round (the sparse-flow optimisation).
@@ -89,9 +97,11 @@ PacketPtr FqCodelQdisc::Dequeue() {
           --total_packets_;
           return p;
         },
-        [this](PacketPtr) {
+        [this, now](const PacketPtr& victim) {
           ++codel_drops_;
           ++drops_;
+          AF_TRACE_CODEL_DROP(now, -1, victim->tid,
+                              now.us() - victim->enqueued.us(), codel_drops_);
         });
     if (packet == nullptr) {
       // Queue drained. A new-list queue is moved to the old list (anti-
@@ -110,6 +120,8 @@ PacketPtr FqCodelQdisc::Dequeue() {
     AF_DCHECK_LE(q->deficit, config_.quantum_bytes);
     q->deficit -= packet->size_bytes;
     ++dequeued_total_;
+    AF_TRACE_DEQUEUE(now, -1, packet->tid, now.us() - packet->enqueued.us(),
+                     total_packets_);
     return packet;
   }
 }

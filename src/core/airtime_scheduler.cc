@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace airfair {
@@ -40,8 +41,10 @@ void AirtimeScheduler::MarkBacklogged(StationId station, AccessCategory ac) {
     // A newly backlogged station gets one priority round ("temporary
     // priority for one round of scheduling (but not more)").
     lists.new_stations.PushBack(&state);
+    AF_TRACE_SCHED_MOVE(station, kTraceListNone, kTraceListNew);
   } else {
     lists.old_stations.PushBack(&state);
+    AF_TRACE_SCHED_MOVE(station, kTraceListNone, kTraceListOld);
   }
 }
 
@@ -68,6 +71,8 @@ StationId AirtimeScheduler::NextStation(AccessCategory ac,
       // line 7 analogue of FQ-CoDel's deficit bound).
       AF_DCHECK_LE(state->deficit_us, config_.quantum_us);
       lists.old_stations.MoveToBack(state);
+      AF_TRACE_SCHED_MOVE(state->station,
+                          from_new ? kTraceListNew : kTraceListOld, kTraceListOld);
       continue;  // restart
     }
     if (!has_data(state->station)) {
@@ -75,14 +80,17 @@ StationId AirtimeScheduler::NextStation(AccessCategory ac,
       // the old list; emptied old-list stations are removed.
       if (from_new) {
         lists.old_stations.MoveToBack(state);
+        AF_TRACE_SCHED_MOVE(state->station, kTraceListNew, kTraceListOld);
       } else {
         state->node.Unlink();
+        AF_TRACE_SCHED_MOVE(state->station, kTraceListOld, kTraceListNone);
       }
       continue;  // restart
     }
     // A station is only ever selected while its deficit is in (0, quantum].
     AF_DCHECK_GT(state->deficit_us, 0);
     AF_DCHECK_LE(state->deficit_us, config_.quantum_us);
+    AF_TRACE_SCHED_PICK(state->station, state->deficit_us, from_new ? 1 : 0);
     return state->station;
   }
 }
@@ -96,6 +104,7 @@ void AirtimeScheduler::ChargeAirtime(StationId station, AccessCategory ac, TimeU
   max_single_charge_us_ = std::max(max_single_charge_us_, airtime.us());
   state.deficit_us -= airtime.us();
   min_deficit_seen_us_ = std::min(min_deficit_seen_us_, state.deficit_us);
+  AF_TRACE_SCHED_CHARGE(station, airtime.us(), state.deficit_us);
 }
 
 int64_t AirtimeScheduler::DeficitUs(StationId station, AccessCategory ac) const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/flow_hash.h"
 
@@ -55,6 +56,8 @@ void MacQueues::DropFromLongestQueue() {
   AF_DCHECK(longest->tid != nullptr) << " backlogged queue without a TID assignment";
   longest->tid->backlog_packets--;
   AF_DCHECK_GE(longest->tid->backlog_packets, 0);
+  AF_TRACE_OVERFLOW_DROP(clock_(), longest->tid->station, longest->tid->tid,
+                         longest->tid->backlog_packets, victim->size_bytes);
   if (longest->packets.empty()) {
     longest->backlog_node.Unlink();
   }
@@ -76,7 +79,8 @@ void MacQueues::Enqueue(PacketPtr packet, StationId station, Tid tid) {
   }
   queue->tid = &txq;
 
-  packet->enqueued = clock_();  // Timestamp used by CoDel at dequeue.
+  const TimeUs now = clock_();
+  packet->enqueued = now;  // Timestamp used by CoDel at dequeue.
   AF_DCHECK_GT(packet->size_bytes, 0);
   max_packet_bytes_seen_ = std::max(max_packet_bytes_seen_, packet->size_bytes);
   queue->bytes += packet->size_bytes;
@@ -84,6 +88,8 @@ void MacQueues::Enqueue(PacketPtr packet, StationId station, Tid tid) {
   ++total_packets_;
   ++enqueued_total_;
   ++txq.backlog_packets;
+  AF_TRACE_ENQUEUE(now, station, tid, queue->packets.back()->size_bytes,
+                   txq.backlog_packets);
   if (!queue->backlog_node.linked()) {
     backlogged_.PushBack(queue);
   }
@@ -136,7 +142,11 @@ PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
     }
     PacketPtr packet = queue->codel.Dequeue(
         now, params, [this, queue]() { return PullHead(*queue); },
-        [this](PacketPtr) { ++codel_drops_; });
+        [this, now, station, tid](const PacketPtr& victim) {
+          ++codel_drops_;
+          AF_TRACE_CODEL_DROP(now, station, tid, now.us() - victim->enqueued.us(),
+                              codel_drops_);
+        });
     if (packet == nullptr) {
       // Queue empty (Algorithm 2, lines 13-19).
       if (from_new) {
@@ -152,6 +162,8 @@ PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
     AF_DCHECK_LE(queue->deficit, config_.quantum_bytes);
     queue->deficit -= packet->size_bytes;
     ++dequeued_total_;
+    AF_TRACE_DEQUEUE(now, station, tid, now.us() - packet->enqueued.us(),
+                     txq->backlog_packets);
     return packet;
   }
 }

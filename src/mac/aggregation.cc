@@ -6,6 +6,7 @@
 
 #include "src/mac/airtime.h"
 #include "src/mac/wifi_constants.h"
+#include "src/obs/trace.h"
 
 namespace airfair {
 
@@ -51,6 +52,7 @@ TxDescriptor BuildAggregate(uint32_t src_node, uint32_t dst_node, StationId stat
       const int bytes = mpdu.packet->size_bytes;
       tx.mpdus.push_back(std::move(mpdu));
       tx.duration = SingleMpduDuration(bytes, rate) + LegacyAckDuration();
+      AF_TRACE_AGGREGATE(station, tid, 1, tx.duration.us(), bytes);
       return tx;
     }
     return tx;
@@ -78,6 +80,7 @@ TxDescriptor BuildAggregate(uint32_t src_node, uint32_t dst_node, StationId stat
     return tx;
   }
   tx.duration = DataDurationForBytes(ampdu_bytes, rate) + BlockAckDuration(rate);
+  AF_TRACE_AGGREGATE(station, tid, tx.frame_count(), tx.duration.us(), ampdu_bytes);
   return tx;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -157,10 +158,14 @@ void WifiMedium::ResolveGrant(int defer_slots) {
   TimeUs occupancy = TimeUs::Zero();
   for (const auto& [id, tx] : transmissions) {
     occupancy = std::max(occupancy, tx.duration);
+    AF_TRACE_TX_START(sim_->now(), tx.station, static_cast<int64_t>(tx.mpdus.size()),
+                      tx.duration.us());
   }
   if (collision) {
     occupancy += kEifs - kDifs;  // Extended IFS penalty after a collision.
     ++collisions_;
+    AF_TRACE_COLLISION(sim_->now(), static_cast<int64_t>(transmissions.size()),
+                       (kEifs - kDifs).us());
   }
 
   busy_time_ += occupancy;
@@ -186,6 +191,8 @@ void WifiMedium::CompleteTransmissions(std::vector<std::pair<int, TxDescriptor>>
       rx_airtime_(tx.station, tx.ac, tx.duration);
     }
 
+    int64_t mpdus_ok = 0;
+    int64_t mpdus_lost = 0;
     if (!collision) {
       // Per-MPDU channel errors (block-ack reports the failures).
       double err = 0.0;
@@ -197,18 +204,26 @@ void WifiMedium::CompleteTransmissions(std::vector<std::pair<int, TxDescriptor>>
       for (auto& mpdu : tx.mpdus) {
         if (err > 0.0 && sim_->rng().Chance(err)) {
           ++mpdu_errors_;
+          ++mpdus_lost;
           continue;  // Packet stays in the descriptor: failed.
         }
+        ++mpdus_ok;
         if (deliver_) {
+          AF_TRACE_DELIVER(sim_->now(), tx.station, mpdu.packet->tid,
+                           sim_->now().us() - mpdu.packet->created.us(),
+                           mpdu.packet->size_bytes);
           deliver_(std::move(mpdu.packet), tx.src_node, tx.dst_node);
         }
         mpdu.packet = nullptr;
       }
       c.cw = c.edca.cw_min;
+      AF_TRACE_BLOCK_ACK(sim_->now(), tx.station, mpdus_ok);
     } else {
       // Whole-frame loss; binary exponential backoff.
+      mpdus_lost = static_cast<int64_t>(tx.mpdus.size());
       c.cw = std::min(2 * (c.cw + 1) - 1, c.edca.cw_max);
     }
+    AF_TRACE_TX_END(sim_->now(), tx.station, tx.duration.us(), mpdus_ok, mpdus_lost);
     c.backoff_slots = -1;
 
     c.client->OnTxComplete(std::move(tx), collision);

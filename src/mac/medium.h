@@ -90,6 +90,11 @@ class WifiMedium {
   // --- ground-truth airtime ledger ---
   TimeUs AirtimeUsed(StationId station) const;
   std::vector<TimeUs> AirtimeSnapshot() const { return airtime_by_station_; }
+  // Allocation-free view of the same ledger (indexed by station id; may be
+  // shorter than the station table until a station first transmits). Used
+  // by the Testbed's timeseries sampler, which must not allocate in steady
+  // state.
+  const std::vector<TimeUs>& airtime_by_station() const { return airtime_by_station_; }
   TimeUs busy_time() const { return busy_time_; }
 
   // --- statistics ---

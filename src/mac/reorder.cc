@@ -4,7 +4,13 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace airfair {
+
+// Note on trace records: reorder events are per (transmitter node, TID)
+// stream, so the `station` field of AF_TRACE_REORDER_* / AF_TRACE_DUP_DROP
+// events carries the *node* id (2 + station index in the Testbed topology).
 
 ReorderBuffer::ReorderBuffer(Simulation* sim, InlineFunction<void(PacketPtr)> deliver)
     : ReorderBuffer(sim, std::move(deliver), Config()) {}
@@ -22,12 +28,15 @@ void ReorderBuffer::Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid
   auto& slot = streams_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Stream>();
+    slot->node = static_cast<int32_t>(transmitter_node);
+    slot->tid = tid;
   }
   Stream* stream = slot.get();
 
   const int64_t seq = packet->mac_seq;
   if (seq < stream->expected) {
     ++duplicate_drops_;  // Duplicate of an already-released frame.
+    AF_TRACE_DUP_DROP(sim_->now(), stream->node, seq);
     return;
   }
   if (seq == stream->expected) {
@@ -39,11 +48,12 @@ void ReorderBuffer::Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid
   // Hole: buffer and wait for the retry.
   if (stream->buffer.emplace(seq, std::move(packet)).second) {
     ++held_;
+    AF_TRACE_REORDER_HOLD(sim_->now(), stream->node, held_, seq);
   }
   // Window pressure: never hold more than the block-ack window's span.
   while (!stream->buffer.empty() &&
          stream->buffer.rbegin()->first - stream->expected >= config_.window) {
-    FlushHole(stream);
+    FlushHole(stream, /*timeout=*/false);
   }
   if (!stream->buffer.empty()) {
     ArmTimer(stream);
@@ -51,12 +61,17 @@ void ReorderBuffer::Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid
 }
 
 void ReorderBuffer::ReleaseContiguous(Stream* stream) {
+  int64_t released = 0;
   auto it = stream->buffer.begin();
   while (it != stream->buffer.end() && it->first == stream->expected) {
     ++stream->expected;
     --held_;
+    ++released;
     deliver_(std::move(it->second));
     it = stream->buffer.erase(it);
+  }
+  if (released > 0) {
+    AF_TRACE_REORDER_RELEASE(sim_->now(), stream->node, released, stream->expected);
   }
   if (stream->buffer.empty()) {
     stream->flush_timer.Cancel();
@@ -65,11 +80,13 @@ void ReorderBuffer::ReleaseContiguous(Stream* stream) {
   }
 }
 
-void ReorderBuffer::FlushHole(Stream* stream) {
+void ReorderBuffer::FlushHole(Stream* stream, bool timeout) {
   if (stream->buffer.empty()) {
     return;
   }
   // Skip to the first buffered frame, abandoning the hole.
+  const int64_t skipped = stream->buffer.begin()->first - stream->expected;
+  AF_TRACE_REORDER_FLUSH(sim_->now(), stream->node, skipped, timeout ? 1 : 0);
   stream->expected = stream->buffer.begin()->first;
   ReleaseContiguous(stream);
 }
@@ -147,7 +164,7 @@ void ReorderBuffer::ArmTimer(Stream* stream) {
   }
   stream->flush_timer = sim_->After(config_.release_timeout, [this, stream] {
     ++timeout_flushes_;
-    FlushHole(stream);
+    FlushHole(stream, /*timeout=*/true);
   });
 }
 

@@ -88,12 +88,16 @@ class ReorderBuffer {
  private:
   struct Stream {
     int64_t expected = 0;
+    // Transmitter node and TID, kept for trace events (the stream key
+    // encodes them, but flush paths only hold the Stream*).
+    int32_t node = -1;
+    Tid tid = 0;
     std::map<int64_t, PacketPtr> buffer;
     EventHandle flush_timer;
   };
 
   void ReleaseContiguous(Stream* stream);
-  void FlushHole(Stream* stream);
+  void FlushHole(Stream* stream, bool timeout);
   void ArmTimer(Stream* stream);
 
   Simulation* sim_;

@@ -1,0 +1,182 @@
+#include "src/obs/export.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace airfair {
+namespace {
+
+// Emits one trace_event object. `first` tracks comma placement.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {}
+
+  std::ostream& Begin() {
+    if (!first_) {
+      out_ << ",\n";
+    }
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(const TraceBuffer& buffer, const ChromeTraceMetadata& meta,
+                      std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter w(out);
+
+  // Metadata: one process per medium, one thread per station.
+  w.Begin() << R"({"name":"process_name","ph":"M","pid":0,"args":{"name":")"
+            << JsonEscape(meta.process_name) << R"("}})";
+  for (size_t i = 0; i < meta.station_names.size(); ++i) {
+    w.Begin() << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << i
+              << R"(,"args":{"name":")" << JsonEscape(meta.station_names[i])
+              << R"("}})";
+  }
+  w.Begin() << R"({"name":"thread_name","ph":"M","pid":0,"tid":)"
+            << kChromeTraceGlobalTid << R"(,"args":{"name":"medium/scheduler"}})";
+
+  const auto tid_for = [](const TraceRecord& rec) {
+    return rec.station >= 0 ? rec.station : kChromeTraceGlobalTid;
+  };
+  const auto instant = [&](const TraceRecord& rec, const char* name,
+                           const char* k0, int64_t v0, const char* k1, int64_t v1) {
+    w.Begin() << R"({"name":")" << name << R"(","ph":"i","s":"t","pid":0,"tid":)"
+              << tid_for(rec) << R"(,"ts":)" << rec.t_us << R"(,"args":{")" << k0
+              << R"(":)" << v0 << R"(,")" << k1 << R"(":)" << v1 << "}}";
+  };
+  const auto counter = [&](const TraceRecord& rec, const char* name, int64_t value) {
+    w.Begin() << R"({"name":")" << name << " s" << rec.station
+              << R"(","ph":"C","pid":0,"ts":)" << rec.t_us << R"(,"args":{"value":)"
+              << value << "}}";
+  };
+
+  buffer.ForEach([&](const TraceRecord& rec) {
+    const auto type = static_cast<TraceEventType>(rec.type);
+    switch (type) {
+      case TraceEventType::kTxEnd: {
+        // Synthesise the transmission slice from its completion event:
+        // the medium charged `a0` microseconds of airtime ending at t.
+        const int64_t start = rec.t_us - rec.a0;
+        w.Begin() << R"({"name":"tx","ph":"X","pid":0,"tid":)" << tid_for(rec)
+                  << R"(,"ts":)" << (start < 0 ? 0 : start) << R"(,"dur":)" << rec.a0
+                  << R"(,"args":{"mpdus_ok":)" << rec.a1 << R"(,"mpdus_lost":)"
+                  << rec.a2 << "}}";
+        break;
+      }
+      case TraceEventType::kDequeue:
+        instant(rec, "dequeue", "sojourn_us", rec.a0, "depth", rec.a1);
+        break;
+      case TraceEventType::kDeliver:
+        instant(rec, "deliver", "latency_us", rec.a0, "bytes", rec.a1);
+        break;
+      case TraceEventType::kCodelDrop:
+        instant(rec, "codel_drop", "sojourn_us", rec.a0, "drops", rec.a1);
+        break;
+      case TraceEventType::kOverflowDrop:
+        instant(rec, "overflow_drop", "depth", rec.a0, "bytes", rec.a1);
+        break;
+      case TraceEventType::kDuplicateDrop:
+        instant(rec, "duplicate_drop", "mac_seq", rec.a0, "x", rec.a1);
+        break;
+      case TraceEventType::kCollision:
+        instant(rec, "collision", "contenders", rec.a0, "penalty_us", rec.a1);
+        break;
+      case TraceEventType::kBlockAck:
+        instant(rec, "block_ack", "acked", rec.a0, "x", rec.a1);
+        break;
+      case TraceEventType::kReorderFlush:
+        instant(rec, "reorder_flush", "flushed", rec.a0, "timeout", rec.a1);
+        break;
+      case TraceEventType::kSchedPick:
+        instant(rec, "sched_pick", "deficit_us", rec.a0, "from_new", rec.a1);
+        counter(rec, "deficit", rec.a0);
+        break;
+      case TraceEventType::kSchedCharge:
+        counter(rec, "deficit", rec.a1);
+        break;
+      case TraceEventType::kEnqueue:
+        counter(rec, "qdepth", rec.a1);
+        break;
+      default:
+        break;  // Ring-only record types (dispatch, holds, state, ...).
+    }
+  });
+
+  out << "\n]}\n";
+}
+
+bool WriteChromeTraceFile(const TraceBuffer& buffer, const ChromeTraceMetadata& meta,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WriteChromeTrace(buffer, meta, out);
+  return static_cast<bool>(out);
+}
+
+void WriteTimeseriesJsonl(const Timeseries& series, const std::string& run_label,
+                          std::ostream& out) {
+  const std::string run = JsonEscape(run_label);
+  for (int id = 0; id < series.series_count(); ++id) {
+    const std::string name = JsonEscape(series.name(id));
+    for (const Timeseries::Point& p : series.points(id)) {
+      out << R"({"t_us":)" << p.t_us << R"(,"series":")" << name << R"(","value":)"
+          << p.value << R"(,"run":")" << run << "\"}\n";
+    }
+  }
+}
+
+bool WriteTimeseriesJsonlFile(const Timeseries& series, const std::string& run_label,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WriteTimeseriesJsonl(series, run_label, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace airfair

@@ -1,0 +1,58 @@
+// Trace / timeseries exporters (post-run, allocation-unconstrained).
+//
+// Two formats:
+//   - Chrome trace_event JSON ({"traceEvents": [...]}), loadable in
+//     chrome://tracing and Perfetto. One pid per medium (this simulator
+//     models one), one tid per station: transmissions become complete
+//     ("X") slices on the owning station's track, drops / scheduler picks /
+//     reorder actions become instants ("i"), and DRR deficits become
+//     counter ("C") tracks. Timestamps are the simulated microseconds
+//     unchanged — trace_event's native unit.
+//   - Timeseries JSONL: one {"t_us":..,"series":"..","value":..} object
+//     per line (plus the run label), trivially greppable / parseable and
+//     the input format of tools/analyze/trace_stats.
+
+#ifndef AIRFAIR_SRC_OBS_EXPORT_H_
+#define AIRFAIR_SRC_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/timeseries.h"
+#include "src/obs/trace.h"
+
+namespace airfair {
+
+struct ChromeTraceMetadata {
+  // Process (pid 0) name, e.g. "medium0 fig05/AirtimeFair".
+  std::string process_name = "medium0";
+  // Thread names indexed by station id; stations without an entry are
+  // named "station <id>".
+  std::vector<std::string> station_names;
+};
+
+// Thread id used for events that belong to no station (scheduler-global
+// collisions, event-loop dispatches).
+inline constexpr int kChromeTraceGlobalTid = 999;
+
+// Serialises `buffer` as Chrome trace JSON.
+void WriteChromeTrace(const TraceBuffer& buffer, const ChromeTraceMetadata& meta,
+                      std::ostream& out);
+// File convenience; returns false when the file cannot be opened.
+bool WriteChromeTraceFile(const TraceBuffer& buffer, const ChromeTraceMetadata& meta,
+                          const std::string& path);
+
+// Serialises `series` as JSONL; `run_label` is attached to every line
+// (scheme / bench identification when several runs share a file).
+void WriteTimeseriesJsonl(const Timeseries& series, const std::string& run_label,
+                          std::ostream& out);
+bool WriteTimeseriesJsonlFile(const Timeseries& series, const std::string& run_label,
+                              const std::string& path);
+
+// Escapes a string for inclusion in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_OBS_EXPORT_H_

@@ -1,11 +1,15 @@
 #include "src/scenario/testbed.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <utility>
 
 #include "src/aqm/fifo.h"
 #include "src/aqm/fq_codel.h"
+#include "src/obs/export.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
 
@@ -149,6 +153,7 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
 
   BuildLedger(config);
   BuildAuditor(config);
+  BuildTrace(config);
 }
 
 void Testbed::BuildLedger(const TestbedConfig& config) {
@@ -176,6 +181,224 @@ Testbed::~Testbed() {
     // The CHECK time provider points at this testbed's clock; detach it
     // before the simulation is torn down.
     SetCheckTimeProvider(nullptr);
+  }
+  if (trace_ != nullptr) {
+    ExportTraceArtifacts();
+    // Uninstall this testbed's observability hooks before trace_ is freed
+    // (members destroy after this body runs), restoring whatever was
+    // installed before — nested testbeds in tests stack correctly.
+    if (flight_recorder_installed_) {
+      SetCheckFlightRecorder(std::move(prev_flight_recorder_));
+    }
+    SetCurrentTraceBuffer(prev_trace_);
+  }
+}
+
+namespace {
+
+// Trace events dumped to stderr by the crash flight recorder.
+constexpr size_t kFlightRecorderTail = 64;
+
+// Quantile over a sorted scratch vector (linear interpolation, matching
+// util/stats semantics without materialising a SampleSet per sample tick).
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// Expands "{scheme}" in an export path so one bench run writing several
+// testbeds (one per scheme) keeps every artifact instead of overwriting.
+std::string ExpandExportPath(const std::string& path, const std::string& scheme) {
+  const std::string token = "{scheme}";
+  const size_t at = path.find(token);
+  if (at == std::string::npos) {
+    return path;
+  }
+  std::string expanded = path;
+  expanded.replace(at, token.size(), scheme);
+  return expanded;
+}
+
+// Export serialisation: parallel repetition workers each own a testbed and
+// destroy it on their own thread; the filesystem writes (and the shared
+// stderr notes) go one at a time.
+std::mutex& ExportMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+void Testbed::BuildTrace(const TestbedConfig& config) {
+  if (!config.trace) {
+    return;
+  }
+  TraceBuffer::Config trace_config = config.trace_config;
+  trace_config.capacity = TraceRingCapacityFromEnv(trace_config.capacity);
+  trace_ = std::make_unique<TraceBuffer>(trace_config);
+  EventLoop* loop = &sim_.loop();
+  trace_->set_clock([loop] { return loop->now(); });
+  prev_trace_ = SetCurrentTraceBuffer(trace_.get());
+  // Crash flight recorder: a fatal AF_CHECK / audit failure dumps the tail
+  // of the ring before aborting, so the post-mortem shows the packet and
+  // scheduler events leading up to the violation.
+  TraceBuffer* buffer = trace_.get();
+  prev_flight_recorder_ =
+      SetCheckFlightRecorder([buffer] { buffer->DumpTail(kFlightRecorderTail); });
+  flight_recorder_installed_ = true;
+
+  // Metrics timelines, sampled on a fixed cadence below.
+  timeseries_ = std::make_unique<Timeseries>(config.timeseries_config);
+  run_label_ = std::string(SchemeName(config.scheme)) + " n=" +
+               std::to_string(config.stations.size()) + " seed=" +
+               std::to_string(config.seed);
+  const size_t n = config.stations.size();
+  latency_scratch_.resize(n);
+  share_scratch_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    latency_scratch_[i].reserve(4096);
+    const std::string& name = config.stations[i].name;
+    airtime_series_.push_back(timeseries_->Series("airtime_share." + name));
+    latency_p50_series_.push_back(timeseries_->Series("latency_p50_us." + name));
+    latency_p95_series_.push_back(timeseries_->Series("latency_p95_us." + name));
+    latency_p99_series_.push_back(timeseries_->Series("latency_p99_us." + name));
+  }
+  jain_series_ = timeseries_->Series("airtime_jain");
+  depth_series_ = timeseries_->Series("queue_depth_packets");
+  const size_t window = static_cast<size_t>(std::max(1, config.airtime_window_samples));
+  airtime_history_.assign(
+      window, std::vector<TimeUs>(static_cast<size_t>(station_table_.size()), TimeUs::Zero()));
+
+  sample_interval_ = config.sample_interval;
+  if (const char* env = std::getenv("AIRFAIR_SAMPLE_INTERVAL_MS"); env != nullptr) {
+    const int ms = std::atoi(env);
+    if (ms > 0) {
+      sample_interval_ = TimeUs::FromMilliseconds(ms);
+    }
+  }
+  ScheduleSample();
+}
+
+void Testbed::ScheduleSample() {
+  // Detached (fire-and-forget) rescheduling: the handle-keeping path mints
+  // a cancellation token per tick, which would be the sampler's only
+  // steady-state allocation (tests/perf_alloc_test.cc holds the traced
+  // testbed window to exactly the untraced window's count). The event dies
+  // with the loop, so no cancellation is needed at destruction.
+  sim_.PostAfter(sample_interval_, [this] {
+    SampleTimeseries();
+    ScheduleSample();
+  });
+}
+
+void Testbed::SampleTimeseries() {
+  const TimeUs now = sim_.now();
+
+  // Sliding-window airtime shares: the share of airtime each station used
+  // over the last `airtime_window_samples` ticks. This is the convergence
+  // signal of Figs. 5/9 — end-of-run aggregates hide how quickly the
+  // scheduler reaches fairness.
+  const std::vector<TimeUs>& airtime = medium_.airtime_by_station();
+  std::vector<TimeUs>& base_slot = airtime_history_[airtime_history_pos_];
+  const size_t n = share_scratch_.size();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const TimeUs current = i < airtime.size() ? airtime[i] : TimeUs::Zero();
+    const TimeUs base = i < base_slot.size() ? base_slot[i] : TimeUs::Zero();
+    share_scratch_[i] = (current - base).ToSeconds();
+    total += share_scratch_[i];
+  }
+  // Recycle the oldest snapshot slot as the newest (no allocation: the slot
+  // was pre-sized to the station count and the ledger never shrinks).
+  base_slot.assign(airtime.begin(), airtime.end());
+  base_slot.resize(static_cast<size_t>(station_table_.size()), TimeUs::Zero());
+  airtime_history_pos_ = (airtime_history_pos_ + 1) % airtime_history_.size();
+  if (total > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      share_scratch_[i] /= total;
+      timeseries_->Record(airtime_series_[i], now, share_scratch_[i]);
+    }
+    timeseries_->Record(jain_series_, now, JainFairnessIndex(share_scratch_));
+  }
+
+  // Backend standing queue (whichever backend this scheme uses).
+  if (mac_backend_ != nullptr) {
+    timeseries_->Record(depth_series_, now,
+                        static_cast<double>(mac_backend_->packet_count()));
+  } else if (qdisc_backend_ != nullptr) {
+    timeseries_->Record(depth_series_, now,
+                        static_cast<double>(qdisc_backend_->packet_count()));
+  }
+
+  // Per-station end-to-end latency quantiles over the window, from the
+  // kDeliver records appended to the ring since the previous sample.
+  for (auto& scratch : latency_scratch_) {
+    scratch.clear();
+  }
+  trace_->ForEachSince(deliver_scan_seq_, [this](const TraceRecord& rec) {
+    if (rec.type != static_cast<uint16_t>(TraceEventType::kDeliver)) {
+      return;
+    }
+    if (rec.station >= 0 && rec.station < static_cast<int32_t>(latency_scratch_.size())) {
+      latency_scratch_[static_cast<size_t>(rec.station)].push_back(
+          static_cast<double>(rec.a0));
+    }
+  });
+  deliver_scan_seq_ = trace_->total_appended();
+  for (size_t i = 0; i < latency_scratch_.size(); ++i) {
+    std::vector<double>& samples = latency_scratch_[i];
+    if (samples.empty()) {
+      continue;
+    }
+    std::sort(samples.begin(), samples.end());
+    timeseries_->Record(latency_p50_series_[i], now, QuantileSorted(samples, 0.50));
+    timeseries_->Record(latency_p95_series_[i], now, QuantileSorted(samples, 0.95));
+    timeseries_->Record(latency_p99_series_[i], now, QuantileSorted(samples, 0.99));
+  }
+}
+
+void Testbed::ExportTraceArtifacts() {
+  const char* trace_path = std::getenv("AIRFAIR_TRACE_JSON");
+  const char* series_path = std::getenv("AIRFAIR_TIMESERIES_JSON");
+  if ((trace_path == nullptr || *trace_path == '\0') &&
+      (series_path == nullptr || *series_path == '\0')) {
+    return;
+  }
+  // Sanitised scheme token for {scheme} path expansion.
+  std::string scheme;
+  for (const char c : run_label_.substr(0, run_label_.find(' '))) {
+    scheme.push_back(c == '-' ? '_' : c);
+  }
+  std::lock_guard<std::mutex> lock(ExportMutex());
+  if (trace_path != nullptr && *trace_path != '\0') {
+    const std::string path = ExpandExportPath(trace_path, scheme);
+    ChromeTraceMetadata meta;
+    meta.process_name = "medium0 " + run_label_;
+    for (int i = 0; i < station_table_.size(); ++i) {
+      meta.station_names.push_back(station_table_.Get(i).name);
+    }
+    if (WriteChromeTraceFile(*trace_, meta, path)) {
+      std::fprintf(stderr, "[trace] wrote Chrome trace (%llu events) to %s\n",
+                   static_cast<unsigned long long>(trace_->size()), path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] failed to open %s\n", path.c_str());
+    }
+  }
+  if (series_path != nullptr && *series_path != '\0') {
+    const std::string path = ExpandExportPath(series_path, scheme);
+    if (WriteTimeseriesJsonlFile(*timeseries_, run_label_, path)) {
+      std::fprintf(stderr, "[trace] wrote timeseries (%llu points) to %s\n",
+                   static_cast<unsigned long long>(timeseries_->total_points()),
+                   path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] failed to open %s\n", path.c_str());
+    }
   }
 }
 

@@ -27,9 +27,12 @@
 #include "src/net/host.h"
 #include "src/net/packet_pool.h"
 #include "src/net/wired_link.h"
+#include "src/obs/timeseries.h"
+#include "src/obs/trace.h"
 #include "src/scenario/conservation.h"
 #include "src/sim/audit.h"
 #include "src/sim/simulation.h"
+#include "src/util/check.h"
 
 namespace airfair {
 
@@ -93,6 +96,27 @@ struct TestbedConfig {
   // in steady state. Disabled by AIRFAIR_PACKET_POOL=0 (A/B comparisons and
   // the determinism tests) — results are identical either way.
   bool packet_pool = PacketPoolEnabledByDefault();
+
+  // Packet-lifecycle tracing + metrics timelines (src/obs). Off unless a
+  // run opts in: AIRFAIR_TRACE=1, or one of the export paths
+  // (AIRFAIR_TRACE_JSON / AIRFAIR_TIMESERIES_JSON) is set, or a test flips
+  // this flag. When on, the Testbed owns a TraceBuffer (ring capacity
+  // overridable with AIRFAIR_TRACE_RING), installs it as the thread's
+  // current buffer, arms the crash flight recorder, and samples the
+  // timeseries below on `sample_interval` cadence. Tracing never changes
+  // simulation results (tests/obs_trace_test.cc holds this bit-identical).
+  bool trace = TraceEnabledByDefault();
+  TraceBuffer::Config trace_config;
+  Timeseries::Config timeseries_config;
+  // Timeseries sampling cadence (airtime shares, Jain index, queue depth,
+  // per-station latency quantiles). Mirrors the auditor's default sweep
+  // interval; override at runtime with AIRFAIR_SAMPLE_INTERVAL_MS.
+  TimeUs sample_interval = TimeUs::FromMilliseconds(10);
+  // Airtime shares / Jain are computed over a sliding window of this many
+  // sample ticks (default 20 x 10 ms = 200 ms). One tick is too coarse: a
+  // single 3 ms A-MPDU dominates a 10 ms window and the Jain index
+  // whipsaws; 200 ms matches the averaging the paper's airtime figures use.
+  int airtime_window_samples = 20;
 };
 
 class Testbed {
@@ -139,10 +163,19 @@ class Testbed {
   // disabled (without pool bookkeeping there is no in-flight ground truth).
   PacketLedger* ledger() { return ledger_.get(); }
 
+  // The lifecycle trace ring and metrics timelines, or nullptr when tracing
+  // is disabled (TestbedConfig::trace).
+  TraceBuffer* trace_buffer() { return trace_.get(); }
+  Timeseries* timeseries() { return timeseries_.get(); }
+
  private:
   void BuildBackend(const TestbedConfig& config);
   void BuildLedger(const TestbedConfig& config);
   void BuildAuditor(const TestbedConfig& config);
+  void BuildTrace(const TestbedConfig& config);
+  void ScheduleSample();
+  void SampleTimeseries();
+  void ExportTraceArtifacts();
 
   // Declared before sim_ on purpose: members destroy in reverse order, so
   // the pool outlives the event loop — closures still holding PacketPtrs
@@ -168,6 +201,35 @@ class Testbed {
   QdiscBackend* qdisc_backend_ = nullptr;
   TimeUs measurement_start_;
   std::vector<TimeUs> airtime_baseline_;
+
+  // --- observability (src/obs) ---
+  // Declared last (destroyed first): the destructor uninstalls the
+  // thread-local buffer / flight recorder before trace_ itself is freed.
+  // The sample timer is a detached self-reposting event that dies with the
+  // loop, so no handle needs to outlive anything.
+  std::unique_ptr<TraceBuffer> trace_;
+  std::unique_ptr<Timeseries> timeseries_;
+  TraceBuffer* prev_trace_ = nullptr;          // Restored on destruction.
+  CheckFlightRecorder prev_flight_recorder_;   // Likewise.
+  bool flight_recorder_installed_ = false;
+  TimeUs sample_interval_;
+  std::string run_label_;  // "<scheme> n=<stations> seed=<seed>" for exports.
+  // Sampler state: a ring of airtime-ledger snapshots implementing the
+  // sliding share window, a watermark into the trace ring for the latency
+  // scan, and pre-reserved per-station scratch (steady-state sampling
+  // performs no allocation).
+  std::vector<std::vector<TimeUs>> airtime_history_;
+  size_t airtime_history_pos_ = 0;
+  uint64_t deliver_scan_seq_ = 0;
+  std::vector<std::vector<double>> latency_scratch_;
+  std::vector<double> share_scratch_;
+  // Registered series ids (setup-path; index = station).
+  std::vector<int> airtime_series_;
+  std::vector<int> latency_p50_series_;
+  std::vector<int> latency_p95_series_;
+  std::vector<int> latency_p99_series_;
+  int jain_series_ = -1;
+  int depth_series_ = -1;
 };
 
 }  // namespace airfair

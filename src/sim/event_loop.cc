@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
 
@@ -80,6 +81,7 @@ void EventLoop::RunUntil(TimeUs end) {
       // Detached fast path: nothing to mark, nothing to recycle.
       last_dispatched_ = event.when;
       ++dispatched_events_;
+      AF_TRACE_DISPATCH(now_, static_cast<int64_t>(heap_.size()));
       event.fn();
       continue;
     }
@@ -88,6 +90,7 @@ void EventLoop::RunUntil(TimeUs end) {
       *event.cancelled = true;  // Mark fired so handles report !pending().
       last_dispatched_ = event.when;
       ++dispatched_events_;
+      AF_TRACE_DISPATCH(now_, static_cast<int64_t>(heap_.size()));
       event.fn();
     }
     // Recycle after fn() ran: callbacks commonly overwrite the member
@@ -108,6 +111,7 @@ bool EventLoop::RunOne() {
     if (event.cancelled == nullptr) {
       last_dispatched_ = event.when;
       ++dispatched_events_;
+      AF_TRACE_DISPATCH(now_, static_cast<int64_t>(heap_.size()));
       event.fn();
       return true;
     }
@@ -118,6 +122,7 @@ bool EventLoop::RunOne() {
     *event.cancelled = true;
     last_dispatched_ = event.when;
     ++dispatched_events_;
+    AF_TRACE_DISPATCH(now_, static_cast<int64_t>(heap_.size()));
     event.fn();
     ReleaseToken(std::move(event.cancelled));
     return true;

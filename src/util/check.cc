@@ -22,6 +22,11 @@ std::function<TimeUs()>& TimeProvider() {
   return provider;
 }
 
+CheckFlightRecorder& FlightRecorder() {
+  thread_local CheckFlightRecorder recorder;
+  return recorder;
+}
+
 }  // namespace
 
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
@@ -34,6 +39,12 @@ void SetCheckTimeProvider(std::function<TimeUs()> provider) {
   TimeProvider() = std::move(provider);
 }
 
+CheckFlightRecorder SetCheckFlightRecorder(CheckFlightRecorder recorder) {
+  CheckFlightRecorder previous = std::move(FlightRecorder());
+  FlightRecorder() = std::move(recorder);
+  return previous;
+}
+
 namespace check_detail {
 
 void FailCheck(const char* file, int line, const std::string& message) {
@@ -43,6 +54,17 @@ void FailCheck(const char* file, int line, const std::string& message) {
   }
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, message.c_str());
   std::fflush(stderr);
+  // Fatal path: give the flight recorder one shot at dumping recent
+  // history (the Testbed hooks the trace buffer's tail here). The guard
+  // stops a recorder that itself fails a check from recursing.
+  if (FlightRecorder()) {
+    thread_local bool dumping = false;
+    if (!dumping) {
+      dumping = true;
+      FlightRecorder()();
+      dumping = false;
+    }
+  }
   std::abort();
 }
 

@@ -49,6 +49,17 @@ CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
 // Auditor install the owning Simulation's clock (on the calling thread).
 void SetCheckTimeProvider(std::function<TimeUs()> provider);
 
+// Crash flight recorder: invoked (at most once, re-entrancy guarded) on
+// the *fatal* check-failure path — after the message is printed, before
+// std::abort() — so a dump of recent history accompanies the failure.
+// Not invoked when a replacement failure handler is installed (tests and
+// the non-fatal audit mode handle failures themselves). The Testbed
+// installs a hook that dumps the tail of its trace buffer (src/obs).
+// Passing nullptr clears it; returns the previous recorder. thread_local,
+// like the other hooks.
+using CheckFlightRecorder = std::function<void()>;
+CheckFlightRecorder SetCheckFlightRecorder(CheckFlightRecorder recorder);
+
 // RAII scope guards for the two hooks; used by tests and the Auditor so
 // nested scopes restore the outer configuration.
 class ScopedCheckFailureHandler {

@@ -19,6 +19,9 @@
 #endif
 
 #include "src/net/packet_pool.h"
+#include "src/net/udp.h"
+#include "src/obs/timeseries.h"
+#include "src/obs/trace.h"
 #include "src/scenario/experiments.h"
 #include "src/sim/event_loop.h"
 #include "src/util/stats.h"
@@ -183,6 +186,90 @@ TEST(PerfAllocTest, HandleTimerSteadyStateRecyclesTokens) {
   // Every reschedule reused a pooled token instead of minting a new one.
   EXPECT_EQ(loop.tokens_created(), tokens_created);
   EXPECT_GE(loop.tokens_recycled(), 10000);
+}
+
+// --- Observability-layer discipline (src/obs) ----------------------------
+// The tracing subsystem's steady state must be allocation-free: the ring
+// and intern table are pre-sized, Append is a slot store, and a Timeseries
+// Record within its reservation is a push into pre-reserved storage.
+
+TEST(PerfAllocTest, TraceBufferAppendIsAllocationFree) {
+  TraceBuffer::Config config;
+  config.capacity = 1 << 10;
+  TraceBuffer buffer(config);
+  ScopedTraceBuffer scope(&buffer);
+  const uint16_t label = buffer.Intern("steady");
+
+  const std::int64_t before = AllocationCount();
+  for (int i = 0; i < 100000; ++i) {
+    // Through the macro (thread-local load + store) and past several ring
+    // wraps; re-interning an existing literal is a table scan, not a push.
+    AF_TRACE_ENQUEUE(TimeUs(i), 1, 0, 1500, i & 63);
+    buffer.Append(TimeUs(i), TraceEventType::kTxEnd, 1, -1, 2800, 32, 0, label);
+  }
+  EXPECT_EQ(buffer.Intern("steady"), label);
+  EXPECT_EQ(AllocationCount() - before, 0)
+      << "trace append / re-intern cycle touched the heap";
+  EXPECT_GT(buffer.overwritten(), 0u);
+}
+
+TEST(PerfAllocTest, TimeseriesRecordWithinReservationIsAllocationFree) {
+  Timeseries::Config config;
+  config.reserve_points = 4096;
+  Timeseries ts;
+  const int a = ts.Series("airtime_share.fast0");
+  const int b = ts.Series("airtime_jain");
+
+  const std::int64_t before = AllocationCount();
+  for (int i = 0; i < 4000; ++i) {
+    ts.Record(a, TimeUs(i * 10000), 0.33);
+    ts.Record(b, TimeUs(i * 10000), 0.99);
+  }
+  EXPECT_EQ(AllocationCount() - before, 0)
+      << "recording points within the reservation touched the heap";
+}
+
+// Steady-state window of a full traced testbed run must allocate exactly as
+// much as the identical untraced run: the sampler (sliding airtime window,
+// latency-quantile scan, series records) and every AF_TRACE_* site add zero
+// heap traffic. Seeded identically, the two runs execute the same event
+// sequence, so any difference is the observability layer's doing.
+namespace {
+
+std::int64_t MeasuredWindowAllocations(bool trace) {
+  TestbedConfig config;
+  config.seed = 11;
+  config.scheme = QueueScheme::kAirtimeFair;
+  config.trace = trace;
+  Testbed tb(config);
+
+  UdpSink sink(tb.station_host(0), 6001);
+  UdpSource::Config down;
+  down.rate_bps = 20e6;
+  UdpSource source(tb.server_host(), tb.station_node(0), 6001, down);
+  source.Start();
+
+  // Warmup: pool chunks, event-heap capacity, sampler scratch first-growth.
+  tb.sim().RunFor(TimeUs::FromMilliseconds(300));
+  const std::int64_t before = AllocationCount();
+  tb.sim().RunFor(TimeUs::FromMilliseconds(2000));
+  const std::int64_t delta = AllocationCount() - before;
+  EXPECT_GT(sink.packets_received(), 0);
+  if (trace) {
+    EXPECT_NE(tb.trace_buffer(), nullptr);
+    EXPECT_GT(tb.trace_buffer()->total_appended(), 0u);
+  }
+  return delta;
+}
+
+}  // namespace
+
+TEST(PerfAllocTest, TracedTestbedSteadyStateAllocatesNoMoreThanUntraced) {
+  const std::int64_t untraced = MeasuredWindowAllocations(false);
+  const std::int64_t traced = MeasuredWindowAllocations(true);
+  EXPECT_EQ(traced, untraced)
+      << "tracing enabled changed steady-state allocation behaviour "
+      << "(traced=" << traced << " untraced=" << untraced << ")";
 }
 
 TEST(PerfAllocTest, TestbedPacketsAllComeFromThePool) {

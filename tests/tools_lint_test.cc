@@ -224,6 +224,42 @@ TEST(LintRule, MutableStaticSuppressed) {
 }
 
 // ---------------------------------------------------------------------------
+// trace-macro-discipline
+
+TEST(LintRule, DirectTraceBufferUseFlaggedInHotDir) {
+  TempRepo repo;
+  repo.WriteFile("src/aqm/a.cc",
+                 "#include \"obs/trace.h\"\n"
+                 "void f() { TraceBuffer* b = CurrentTraceBuffer(); (void)b; }\n");
+  const auto findings = For(repo.Run(), "trace-macro-discipline");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/aqm/a.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintRule, TraceMacrosAndNonHotDirsAreFine) {
+  TempRepo repo;
+  // Hot-dir code tracing through the macros is the sanctioned pattern.
+  repo.WriteFile("src/mac/a.cc",
+                 "void f() { AF_TRACE_ENQUEUE(now, 3, 0, 1500, 7); }\n");
+  // The observability layer itself and the scenario glue may name the
+  // buffer types directly (only src/{sim,mac,core,aqm,net} are hot).
+  repo.WriteFile("src/obs/b.cc", "TraceBuffer* b = CurrentTraceBuffer();\n");
+  repo.WriteFile("src/scenario/c.cc", "ScopedTraceBuffer scope(nullptr);\n");
+  // Mentions in comments do not count.
+  repo.WriteFile("src/sim/d.cc", "// TraceBuffer is installed by the Testbed\nint x;\n");
+  EXPECT_TRUE(For(repo.Run(), "trace-macro-discipline").empty());
+}
+
+TEST(LintRule, DirectTraceBufferUseSuppressed) {
+  TempRepo repo;
+  repo.WriteFile("src/sim/a.cc",
+                 "// airfair-lint: allow(trace-macro-discipline): fixture\n"
+                 "ScopedTraceBuffer scope(nullptr);\n");
+  EXPECT_TRUE(For(repo.Run(), "trace-macro-discipline").empty());
+}
+
+// ---------------------------------------------------------------------------
 // use-af-check
 
 TEST(LintRule, AssertAndCassertFlaggedInSrc) {
@@ -454,7 +490,7 @@ TEST(Suppressions, CommaListCoversMultipleRules) {
 
 TEST(Output, AllRulesAreDocumentedAndJsonIsWellFormed) {
   const auto rules = AllRules();
-  EXPECT_EQ(rules.size(), 13u);
+  EXPECT_EQ(rules.size(), 14u);
   for (const RuleInfo& rule : rules) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());

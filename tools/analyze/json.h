@@ -1,0 +1,45 @@
+// Minimal JSON value + recursive-descent parser shared by the vendored
+// analysis tools (bench_diff, trace_stats). Null/bool/number/string/array/
+// object; numbers become double. Just enough for the repo's own artifact
+// formats — not a general-purpose JSON library.
+
+#ifndef AIRFAIR_TOOLS_ANALYZE_JSON_H_
+#define AIRFAIR_TOOLS_ANALYZE_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace airfair {
+namespace analyze {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses `text` as one complete JSON document. Returns false with *error
+// set (including the byte offset) on malformed or trailing input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// `object[key]` as a number, or `fallback` when absent / not a number.
+double NumberOr(const JsonValue& object, const std::string& key, double fallback);
+
+// `object[key]` as a string, or `fallback` when absent / not a string.
+std::string StringOr(const JsonValue& object, const std::string& key,
+                     const std::string& fallback);
+
+}  // namespace analyze
+}  // namespace airfair
+
+#endif  // AIRFAIR_TOOLS_ANALYZE_JSON_H_

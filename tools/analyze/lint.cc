@@ -263,6 +263,7 @@ class Linter {
     CollectFiles();
     for (const FileData& file : files_) {
       LintHotConstructs(file);
+      LintTraceMacroDiscipline(file);
       LintAfCheck(file);
       LintIncludes(file);
       LintIwyu(file);
@@ -388,6 +389,30 @@ class Linter {
         pos = FindToken(code, "delete", pos + 6);
       }
       MaybeReportMutableStatic(file, code, line);
+    }
+  }
+
+  // --- trace-macro-discipline ---
+  // Hot-path code traces through the AF_TRACE_* macros only: they are the
+  // one spelling that compiles to nothing when AIRFAIR_TRACE is off. A
+  // direct TraceBuffer call would silently keep its cost in untraced
+  // builds (and dodge the macros' null-buffer gate).
+  void LintTraceMacroDiscipline(const FileData& file) {
+    static const char* kDirectUse[] = {"TraceBuffer", "CurrentTraceBuffer",
+                                       "SetCurrentTraceBuffer", "ScopedTraceBuffer"};
+    if (!InHotDir(file.path)) return;
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& code = file.code[i];
+      const int line = static_cast<int>(i) + 1;
+      for (const char* token : kDirectUse) {
+        if (HasToken(code, token)) {
+          Report(file, "trace-macro-discipline", line,
+                 std::string(token) +
+                     " used directly in a hot-path directory; trace through the "
+                     "AF_TRACE_* macros so untraced builds compile it out");
+          break;
+        }
+      }
     }
   }
 
@@ -670,6 +695,7 @@ std::vector<RuleInfo> AllRules() {
       {"hot-shared-ptr", "shared_ptr banned in hot-path directories"},
       {"no-const-cast", "const_cast banned in hot-path directories"},
       {"mutable-static", "mutable static state banned in hot-path directories"},
+      {"trace-macro-discipline", "hot-path code traces via AF_TRACE_* macros only"},
       {"use-af-check", "assert()/<cassert> banned in src/; use AF_CHECK/AF_DCHECK"},
       {"include-self-first", "a .cc file's first include is its own header"},
       {"no-bits-include", "no libstdc++-internal <bits/...> includes"},

@@ -19,6 +19,10 @@
 //   no-const-cast       const_cast in hot dirs
 //   mutable-static      function-local / namespace-scope mutable static in
 //                       hot dirs (hidden cross-run state, data races)
+//   trace-macro-discipline
+//                       direct TraceBuffer / CurrentTraceBuffer use in hot
+//                       dirs — trace through the AF_TRACE_* macros, which
+//                       compile out with AIRFAIR_TRACE off
 //   use-af-check        assert()/<cassert> in src/ — AF_CHECK/AF_DCHECK
 //                       carry messages and honor the failure handler
 //   include-self-first  a .cc file's first include must be its own header

@@ -1,0 +1,308 @@
+#include "tools/analyze/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "tools/analyze/json.h"
+
+namespace airfair {
+namespace analyze {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* text, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+void AddTraceEvent(const JsonValue& event, TraceStats* stats) {
+  ++stats->events;
+  const std::string name = StringOr(event, "name", "");
+  const std::string ph = StringOr(event, "ph", "");
+  const JsonValue* args = event.Get("args");
+  if (ph == "X" && name == "tx") {
+    const double dur = NumberOr(event, "dur", -1.0);
+    if (dur >= 0) {
+      stats->tx_us.push_back(dur);
+      const int tid = static_cast<int>(NumberOr(event, "tid", -1.0));
+      stats->tx_airtime_us[tid] += dur;
+      ++stats->tx_slices[tid];
+    }
+    return;
+  }
+  if (ph != "i" || args == nullptr) {
+    return;  // Metadata, counters, unknown phases.
+  }
+  if (name == "dequeue") {
+    const double sojourn = NumberOr(*args, "sojourn_us", -1.0);
+    if (sojourn >= 0) stats->sojourn_us.push_back(sojourn);
+  } else if (name == "deliver") {
+    const double latency = NumberOr(*args, "latency_us", -1.0);
+    if (latency >= 0) stats->latency_us.push_back(latency);
+  } else if (name == "codel_drop") {
+    ++stats->codel_drops;
+  } else if (name == "overflow_drop") {
+    ++stats->overflow_drops;
+  } else if (name == "duplicate_drop") {
+    ++stats->duplicate_drops;
+  } else if (name == "collision") {
+    ++stats->collisions;
+  }
+}
+
+void PrintStageRow(const char* label, const std::vector<double>& samples,
+                   std::ostream& out) {
+  out << "  " << label << ": n=" << samples.size();
+  if (!samples.empty()) {
+    out << " p50=" << SampleQuantile(samples, 0.50) << "us"
+        << " p95=" << SampleQuantile(samples, 0.95) << "us"
+        << " p99=" << SampleQuantile(samples, 0.99) << "us";
+  }
+  out << "\n";
+}
+
+// Minimal expectation helper for the self-test.
+struct SelfTestContext {
+  std::ostream& out;
+  int failures = 0;
+
+  void Expect(bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      out << "self-test FAIL: " << what << "\n";
+    }
+  }
+};
+
+}  // namespace
+
+bool ParseChromeTrace(const std::string& text, TraceStats* stats, std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) {
+    return false;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    *error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    *error = "no traceEvents array";
+    return false;
+  }
+  for (const JsonValue& event : events->array) {
+    if (event.type == JsonValue::Type::kObject) {
+      AddTraceEvent(event, stats);
+    }
+  }
+  return true;
+}
+
+bool LoadChromeTrace(const std::string& path, TraceStats* stats, std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text, error)) {
+    return false;
+  }
+  if (!ParseChromeTrace(text, stats, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool ParseTimeseriesJsonl(const std::string& text, TimeseriesData* data, std::string* error) {
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    JsonValue record;
+    std::string parse_error;
+    if (!ParseJson(line, &record, &parse_error)) {
+      *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    const std::string series = StringOr(record, "series", "");
+    const double t_us = NumberOr(record, "t_us", -1.0);
+    const JsonValue* value = record.Get("value");
+    if (series.empty() || t_us < 0 || value == nullptr ||
+        value->type != JsonValue::Type::kNumber) {
+      *error = "line " + std::to_string(line_no) + ": not a timeseries record";
+      return false;
+    }
+    data->series[series].emplace_back(static_cast<int64_t>(t_us), value->number);
+    ++data->points;
+  }
+  return true;
+}
+
+bool LoadTimeseriesJsonl(const std::string& path, TimeseriesData* data, std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text, error)) {
+    return false;
+  }
+  if (!ParseTimeseriesJsonl(text, data, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+int64_t ConvergenceTimeUs(const TimeseriesData& data, const std::string& series_name,
+                          double threshold) {
+  const auto it = data.series.find(series_name);
+  if (it == data.series.end() || it->second.empty()) {
+    return -1;
+  }
+  const auto& points = it->second;
+  // Walk backwards: the convergence point is the start of the final run of
+  // samples that all sit at or above the threshold.
+  int64_t converged_at = -1;
+  for (auto rit = points.rbegin(); rit != points.rend(); ++rit) {
+    if (rit->second < threshold) {
+      break;
+    }
+    converged_at = rit->first;
+  }
+  return converged_at;
+}
+
+double SampleQuantile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+void PrintTraceReport(const TraceStats& stats, std::ostream& out) {
+  out << "trace: " << stats.events << " events\n";
+  out << "per-stage latency breakdown:\n";
+  PrintStageRow("queueing (sojourn) ", stats.sojourn_us, out);
+  PrintStageRow("air      (tx)      ", stats.tx_us, out);
+  PrintStageRow("end-to-end         ", stats.latency_us, out);
+  double total_airtime = 0.0;
+  for (const auto& [tid, airtime] : stats.tx_airtime_us) {
+    total_airtime += airtime;
+  }
+  out << "per-station airtime (tx slices):\n";
+  for (const auto& [tid, airtime] : stats.tx_airtime_us) {
+    const auto slices = stats.tx_slices.find(tid);
+    out << "  station " << tid << ": " << airtime / 1e6 << "s over "
+        << (slices == stats.tx_slices.end() ? 0 : slices->second) << " slices";
+    if (total_airtime > 0) {
+      out << " (share " << airtime / total_airtime << ")";
+    }
+    out << "\n";
+  }
+  out << "drops: codel=" << stats.codel_drops << " overflow=" << stats.overflow_drops
+      << " duplicate=" << stats.duplicate_drops << "; collisions=" << stats.collisions
+      << "\n";
+}
+
+void PrintTimeseriesReport(const TimeseriesData& data, const std::string& series_name,
+                           double threshold, std::ostream& out) {
+  out << "timeseries: " << data.points << " points across " << data.series.size()
+      << " series\n";
+  const int64_t converged = ConvergenceTimeUs(data, series_name, threshold);
+  if (converged >= 0) {
+    out << "convergence: " << series_name << " >= " << threshold << " from t="
+        << converged << "us (" << static_cast<double>(converged) / 1e6
+        << "s) onward\n";
+  } else {
+    out << "convergence: " << series_name << " never settles at >= " << threshold
+        << "\n";
+  }
+}
+
+int TraceStatsSelfTest(std::ostream& out) {
+  SelfTestContext t{out};
+
+  // --- Chrome trace parsing ---
+  const std::string trace = R"({"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"medium0"}},
+{"name":"tx","ph":"X","pid":0,"tid":0,"ts":100,"dur":50,"args":{"mpdus_ok":4,"mpdus_lost":0}},
+{"name":"tx","ph":"X","pid":0,"tid":1,"ts":200,"dur":150,"args":{"mpdus_ok":1,"mpdus_lost":1}},
+{"name":"dequeue","ph":"i","s":"t","pid":0,"tid":0,"ts":90,"args":{"sojourn_us":40,"depth":3}},
+{"name":"deliver","ph":"i","s":"t","pid":0,"tid":0,"ts":160,"args":{"latency_us":260,"bytes":1500}},
+{"name":"codel_drop","ph":"i","s":"t","pid":0,"tid":1,"ts":170,"args":{"sojourn_us":9000,"drops":1}},
+{"name":"collision","ph":"i","s":"t","pid":0,"tid":999,"ts":180,"args":{"contenders":2,"penalty_us":90}}
+]})";
+  TraceStats stats;
+  std::string error;
+  t.Expect(ParseChromeTrace(trace, &stats, &error), "trace parses: " + error);
+  t.Expect(stats.events == 7, "7 trace events counted");
+  t.Expect(stats.tx_us.size() == 2, "2 tx slices");
+  t.Expect(stats.sojourn_us.size() == 1 && stats.sojourn_us[0] == 40.0,
+           "dequeue sojourn extracted");
+  t.Expect(stats.latency_us.size() == 1 && stats.latency_us[0] == 260.0,
+           "deliver latency extracted");
+  t.Expect(stats.codel_drops == 1 && stats.collisions == 1, "drop/collision tallies");
+  t.Expect(stats.tx_airtime_us[0] == 50.0 && stats.tx_airtime_us[1] == 150.0,
+           "per-station airtime summed");
+
+  TraceStats bad;
+  t.Expect(!ParseChromeTrace("{}", &bad, &error), "missing traceEvents rejected");
+  t.Expect(!ParseChromeTrace("not json", &bad, &error), "malformed trace rejected");
+
+  // --- Timeseries parsing + convergence ---
+  const std::string jsonl =
+      R"({"t_us":1000,"series":"airtime_jain","value":0.62,"run":"Airtime n=3 seed=1"})"
+      "\n"
+      R"({"t_us":2000,"series":"airtime_jain","value":0.97,"run":"Airtime n=3 seed=1"})"
+      "\n"
+      R"({"t_us":3000,"series":"airtime_jain","value":0.93,"run":"Airtime n=3 seed=1"})"
+      "\n"
+      R"({"t_us":4000,"series":"airtime_jain","value":0.98,"run":"Airtime n=3 seed=1"})"
+      "\n"
+      R"({"t_us":5000,"series":"airtime_jain","value":0.99,"run":"Airtime n=3 seed=1"})"
+      "\n"
+      R"({"t_us":1000,"series":"queue_depth_packets","value":12,"run":"Airtime n=3 seed=1"})"
+      "\n";
+  TimeseriesData data;
+  t.Expect(ParseTimeseriesJsonl(jsonl, &data, &error), "timeseries parses: " + error);
+  t.Expect(data.points == 6, "6 timeseries points");
+  t.Expect(data.series.size() == 2, "2 series");
+  // The 0.93 dip at t=3000 interrupts the run: convergence starts at 4000.
+  t.Expect(ConvergenceTimeUs(data, "airtime_jain", 0.95) == 4000,
+           "convergence skips the dip");
+  t.Expect(ConvergenceTimeUs(data, "airtime_jain", 0.50) == 1000,
+           "low threshold converges at the first sample");
+  t.Expect(ConvergenceTimeUs(data, "airtime_jain", 0.999) == -1,
+           "unreachable threshold reports no convergence");
+  t.Expect(ConvergenceTimeUs(data, "missing", 0.5) == -1,
+           "missing series reports no convergence");
+  TimeseriesData bad_data;
+  t.Expect(!ParseTimeseriesJsonl("{\"nope\":1}\n", &bad_data, &error),
+           "non-timeseries line rejected");
+
+  // --- Quantiles ---
+  t.Expect(SampleQuantile({1, 2, 3, 4, 5}, 0.5) == 3.0, "median of 1..5");
+  t.Expect(SampleQuantile({}, 0.5) == 0.0, "empty quantile is 0");
+  t.Expect(std::abs(SampleQuantile({10, 20}, 0.25) - 12.5) < 1e-9,
+           "interpolated quantile");
+
+  if (t.failures == 0) {
+    out << "trace_stats self-test: all checks passed\n";
+  }
+  return t.failures;
+}
+
+}  // namespace analyze
+}  // namespace airfair

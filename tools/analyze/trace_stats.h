@@ -1,0 +1,89 @@
+// trace_stats: post-run analysis over the observability artifacts that the
+// Testbed exports (src/obs/export.h):
+//
+//   * Chrome trace JSON (AIRFAIR_TRACE_JSON) — per-stage latency breakdown:
+//     queueing (dequeue-instant sojourn times), air (tx slice durations) and
+//     end-to-end (deliver-instant latencies), per-station tx airtime totals,
+//     and drop/collision tallies;
+//   * timeseries JSONL (AIRFAIR_TIMESERIES_JSON) — airtime-fairness
+//     convergence time: the earliest sample after which the windowed Jain
+//     index stays at or above a threshold for the remainder of the run
+//     (the temporal claim behind the paper's Figs. 5 and 9).
+//
+// Used by CI's perf-smoke job to prove that a traced figure run produced
+// loadable artifacts and that the airtime-fair scheme converges; the parse
+// and analysis entry points are a library (linked into airfair_analyze) so
+// tests/tools_trace_stats_test.cc can exercise them on synthetic inputs.
+
+#ifndef AIRFAIR_TOOLS_ANALYZE_TRACE_STATS_H_
+#define AIRFAIR_TOOLS_ANALYZE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace airfair {
+namespace analyze {
+
+// Aggregates extracted from one Chrome trace JSON file.
+struct TraceStats {
+  int64_t events = 0;  // trace_event objects seen (metadata included).
+
+  // Per-stage latency samples, microseconds.
+  std::vector<double> sojourn_us;  // "dequeue" instants: time queued.
+  std::vector<double> tx_us;       // "tx" complete slices: time on air.
+  std::vector<double> latency_us;  // "deliver" instants: end to end.
+
+  // Per-station airtime from tx slices: station tid -> summed slice dur.
+  std::map<int, double> tx_airtime_us;
+  std::map<int, int64_t> tx_slices;
+
+  // Event tallies.
+  int64_t codel_drops = 0;
+  int64_t overflow_drops = 0;
+  int64_t duplicate_drops = 0;
+  int64_t collisions = 0;
+};
+
+// Parses Chrome trace JSON text ({"traceEvents":[...]}); false + *error on
+// malformed input (a missing traceEvents array is malformed).
+bool ParseChromeTrace(const std::string& text, TraceStats* stats, std::string* error);
+bool LoadChromeTrace(const std::string& path, TraceStats* stats, std::string* error);
+
+// One timeseries file: series name -> (t_us, value) points in file order.
+struct TimeseriesData {
+  std::map<std::string, std::vector<std::pair<int64_t, double>>> series;
+  int64_t points = 0;
+};
+
+// Parses timeseries JSONL text; false + *error on a malformed line.
+bool ParseTimeseriesJsonl(const std::string& text, TimeseriesData* data, std::string* error);
+bool LoadTimeseriesJsonl(const std::string& path, TimeseriesData* data, std::string* error);
+
+// The convergence time of `series_name`: the earliest sample time t such
+// that every sample from t to the end of the series has value >= threshold.
+// Returns -1 when the series is absent, empty, or never converges (the
+// last sample is below the threshold).
+int64_t ConvergenceTimeUs(const TimeseriesData& data, const std::string& series_name,
+                          double threshold);
+
+// Quantile with linear interpolation over an unsorted sample vector (sorts
+// a copy); 0 on empty.
+double SampleQuantile(std::vector<double> samples, double q);
+
+// Human-readable reports (what the CLI prints).
+void PrintTraceReport(const TraceStats& stats, std::ostream& out);
+void PrintTimeseriesReport(const TimeseriesData& data, const std::string& series_name,
+                           double threshold, std::ostream& out);
+
+// Built-in self-test over synthetic artifacts (ctest trace_stats_selftest):
+// returns the number of failed expectations, printing each to `out`.
+int TraceStatsSelfTest(std::ostream& out);
+
+}  // namespace analyze
+}  // namespace airfair
+
+#endif  // AIRFAIR_TOOLS_ANALYZE_TRACE_STATS_H_

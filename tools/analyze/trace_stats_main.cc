@@ -1,0 +1,98 @@
+// CLI for the observability-artifact analyzer (tools/analyze/trace_stats.h).
+//
+// Usage:
+//   trace_stats [--trace chrome.json] [--timeseries points.jsonl]
+//               [--series NAME] [--jain-threshold X]
+//               [--require-convergence] [--self-test]
+//
+// With --trace it prints the per-stage latency breakdown (queueing / air /
+// end-to-end), per-station airtime shares from the tx slices, and drop
+// tallies. With --timeseries it prints the airtime-fairness convergence
+// time: the earliest sample after which --series (default airtime_jain)
+// stays at or above --jain-threshold (default 0.95).
+//
+// Exit codes: 0 ok, 1 --require-convergence unmet or self-test failure,
+// 2 usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "tools/analyze/trace_stats.h"
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string series_path;
+  std::string series_name = "airtime_jain";
+  double threshold = 0.95;
+  bool require_convergence = false;
+  bool self_test = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = next("--trace");
+    } else if (arg == "--timeseries") {
+      series_path = next("--timeseries");
+    } else if (arg == "--series") {
+      series_name = next("--series");
+    } else if (arg == "--jain-threshold") {
+      threshold = std::atof(next("--jain-threshold"));
+    } else if (arg == "--require-convergence") {
+      require_convergence = true;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: trace_stats [--trace chrome.json] [--timeseries points.jsonl]\n"
+          "                   [--series NAME] [--jain-threshold X]\n"
+          "                   [--require-convergence] [--self-test]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (self_test) {
+    return airfair::analyze::TraceStatsSelfTest(std::cout) == 0 ? 0 : 1;
+  }
+  if (trace_path.empty() && series_path.empty()) {
+    std::fprintf(stderr, "nothing to do: pass --trace and/or --timeseries (see --help)\n");
+    return 2;
+  }
+
+  int exit_code = 0;
+  if (!trace_path.empty()) {
+    airfair::analyze::TraceStats stats;
+    std::string error;
+    if (!airfair::analyze::LoadChromeTrace(trace_path, &stats, &error)) {
+      std::fprintf(stderr, "trace_stats: %s\n", error.c_str());
+      return 2;
+    }
+    airfair::analyze::PrintTraceReport(stats, std::cout);
+  }
+  if (!series_path.empty()) {
+    airfair::analyze::TimeseriesData data;
+    std::string error;
+    if (!airfair::analyze::LoadTimeseriesJsonl(series_path, &data, &error)) {
+      std::fprintf(stderr, "trace_stats: %s\n", error.c_str());
+      return 2;
+    }
+    airfair::analyze::PrintTimeseriesReport(data, series_name, threshold, std::cout);
+    if (require_convergence &&
+        airfair::analyze::ConvergenceTimeUs(data, series_name, threshold) < 0) {
+      std::fprintf(stderr, "trace_stats: required convergence not reached\n");
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
