@@ -19,10 +19,15 @@
 //     The few sites that want a name attach an interned id resolved
 //     against a pointer-identity table (string literals only).
 //
-// Thread model: the "current" buffer is a thread_local pointer, mirroring
-// the check-failure hooks in util/check.h — each worker of the parallel
-// repetition runner installs its own Testbed's buffer, so concurrent
-// repetitions neither race nor interleave their traces.
+// Thread model (DESIGN.md §8): the "current" buffer is a thread_local
+// pointer, mirroring the check-failure hooks in util/check.h — each worker
+// of the parallel repetition runner installs its own Testbed's buffer, so
+// concurrent repetitions neither race nor interleave their traces. A
+// TraceBuffer belongs to the installing thread for its whole lifetime:
+// install and uninstall must happen on the same thread (the Testbed
+// destructor fail-fasts on a mismatch), and the thread_local slot itself
+// is exempt from guarded-field-discipline because per-thread ownership,
+// not locking, is the declared discipline.
 
 #ifndef AIRFAIR_SRC_OBS_TRACE_H_
 #define AIRFAIR_SRC_OBS_TRACE_H_

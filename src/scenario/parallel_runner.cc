@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "src/util/mutex.h"
 
 namespace airfair {
 
@@ -42,7 +43,7 @@ void RunJobs(int job_count, const std::function<void(int)>& body, int threads) {
 
   std::atomic<int> next_job{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;  // Guards first_error (see tools/analyze/lock_order.txt).
 
   auto worker = [&] {
     for (;;) {
@@ -53,7 +54,7 @@ void RunJobs(int job_count, const std::function<void(int)>& body, int threads) {
       try {
         body(job);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(&error_mutex);
         if (!first_error) {
           first_error = std::current_exception();
         }

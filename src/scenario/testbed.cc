@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "src/aqm/fifo.h"
 #include "src/aqm/fq_codel.h"
 #include "src/obs/export.h"
 #include "src/util/check.h"
+#include "src/util/mutex.h"
 #include "src/util/stats.h"
 
 namespace airfair {
@@ -183,6 +184,17 @@ Testbed::~Testbed() {
     SetCheckTimeProvider(nullptr);
   }
   if (trace_ != nullptr) {
+    // The trace buffer and flight recorder live in *thread-local* slots of
+    // the thread that ran BuildTrace. Restoring them from a different
+    // thread would silently clobber that thread's hooks and leave the
+    // installing thread's slot dangling at a freed buffer — a latent
+    // use-after-free once testbeds migrate between threads (exactly what a
+    // sharded event loop would do). Fail fast instead: a traced testbed
+    // must be destroyed on the thread that built it
+    // (tests/obs_trace_test.cc TracedTestbedCrossThreadDestructionChecked).
+    AF_CHECK(std::this_thread::get_id() == obs_thread_)
+        << "traced Testbed destroyed on a different thread than the one "
+           "that installed its thread-local observability hooks";
     ExportTraceArtifacts();
     // Uninstall this testbed's observability hooks before trace_ is freed
     // (members destroy after this body runs), restoring whatever was
@@ -227,9 +239,11 @@ std::string ExpandExportPath(const std::string& path, const std::string& scheme)
 
 // Export serialisation: parallel repetition workers each own a testbed and
 // destroy it on their own thread; the filesystem writes (and the shared
-// stderr notes) go one at a time.
-std::mutex& ExportMutex() {
-  static std::mutex mutex;
+// stderr notes) go one at a time. Annotated wrapper, not a raw std::mutex,
+// so clang's thread-safety analysis sees the acquisition (and the static
+// is exempt from guarded-field-discipline: a mutex is its own capability).
+Mutex& ExportMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -242,6 +256,7 @@ void Testbed::BuildTrace(const TestbedConfig& config) {
   TraceBuffer::Config trace_config = config.trace_config;
   trace_config.capacity = TraceRingCapacityFromEnv(trace_config.capacity);
   trace_ = std::make_unique<TraceBuffer>(trace_config);
+  obs_thread_ = std::this_thread::get_id();
   EventLoop* loop = &sim_.loop();
   trace_->set_clock([loop] { return loop->now(); });
   prev_trace_ = SetCurrentTraceBuffer(trace_.get());
@@ -375,7 +390,7 @@ void Testbed::ExportTraceArtifacts() {
   for (const char c : run_label_.substr(0, run_label_.find(' '))) {
     scheme.push_back(c == '-' ? '_' : c);
   }
-  std::lock_guard<std::mutex> lock(ExportMutex());
+  MutexLock lock(&ExportMutex());
   if (trace_path != nullptr && *trace_path != '\0') {
     const std::string path = ExpandExportPath(trace_path, scheme);
     ChromeTraceMetadata meta;

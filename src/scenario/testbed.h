@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/mac_queue_backend.h"
@@ -209,6 +210,10 @@ class Testbed {
   // loop, so no handle needs to outlive anything.
   std::unique_ptr<TraceBuffer> trace_;
   std::unique_ptr<Timeseries> timeseries_;
+  // Thread that installed the thread-local observability hooks; the
+  // destructor checks it still matches (the hooks cannot be restored from
+  // another thread without corrupting both threads' slots).
+  std::thread::id obs_thread_;
   TraceBuffer* prev_trace_ = nullptr;          // Restored on destruction.
   CheckFlightRecorder prev_flight_recorder_;   // Likewise.
   bool flight_recorder_installed_ = false;

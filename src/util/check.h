@@ -17,6 +17,12 @@
 // assert that a violation *is* detected without dying; the audit subsystem
 // uses the same hook to convert hot-path check failures into recorded
 // violations when running in non-fatal mode.
+//
+// Concurrency model (DESIGN.md §8): all three hooks below are thread_local
+// — per-thread ownership is the discipline, not locking — so they need no
+// AF_GUARDED_BY annotations and are exempt from the lint engine's
+// guarded-field-discipline rule. Installers must uninstall on the same
+// thread; the Testbed destructor enforces this for its hooks.
 
 #ifndef AIRFAIR_SRC_UTIL_CHECK_H_
 #define AIRFAIR_SRC_UTIL_CHECK_H_

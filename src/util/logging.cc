@@ -3,11 +3,17 @@
 #include <atomic>
 #include <cstdio>
 
+#include "src/util/thread_annotations.h"
+
 namespace airfair {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+// Relaxed atomic: the level is a filter, not a synchronisation point — a
+// worker thread observing a stale level for one message is benign, and the
+// emission itself is a single fprintf (atomic per call under POSIX stdio
+// locking), so interleaved lines stay whole.
+std::atomic<LogLevel> g_level AF_ATOMIC{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -36,6 +42,13 @@ void SetLogLevel(LogLevel level) {
 }
 
 void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  // kOff is a threshold sentinel, not a message severity. Without this
+  // guard, AF_LOG(kOff) would *always* emit: the macro's short-circuit
+  // compares `kOff < GetLogLevel()`, which is false even when the level is
+  // kOff, so the builder ran and emitted unconditionally.
+  if (level >= LogLevel::kOff) {
+    return;
+  }
   // Strip directories for readability.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {

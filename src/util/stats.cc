@@ -4,8 +4,10 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace airfair {
 
@@ -158,42 +160,63 @@ double MedianOf(std::vector<double> values) {
 
 namespace {
 
-// std::map keeps snapshot output sorted and never invalidates references on
-// insert, which is what makes GetCounter's returned reference stable. The
-// mutex guards map *structure* (insertions / iteration); the counter values
-// themselves are atomics, so returned references can be bumped lock-free.
-std::mutex& CounterMutex() {
-  static auto* mu = new std::mutex();
-  return *mu;
-}
+// The process-global counter registry. One class owns both the mutex and
+// the map it guards, so the lock/data relationship is machine-checked
+// (AF_GUARDED_BY + clang -Wthread-safety) instead of commented — the
+// previous arrangement of two separate leaked statics left nothing tying
+// CounterMutex() to CounterMap(), and a new call site could take one
+// without the other.
+//
+// std::map keeps snapshot output sorted and never invalidates references
+// on insert, which is what makes Get's returned reference stable. The
+// mutex guards map *structure* (insertions / iteration); the counter
+// values themselves are atomics, so returned references can be bumped
+// lock-free by worker threads of the parallel repetition runner.
+class CounterRegistry {
+ public:
+  Counter& Get(const std::string& name) AF_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return counters_[name];
+  }
 
-std::map<std::string, Counter>& CounterMap() {
-  static auto* counters = new std::map<std::string, Counter>();
-  return *counters;
+  std::vector<std::pair<std::string, int64_t>> Snapshot() AF_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    std::vector<std::pair<std::string, int64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.emplace_back(name, counter.value());
+    }
+    return out;
+  }
+
+  void Reset() AF_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    for (auto& [name, counter] : counters_) {
+      counter.Set(0);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::map<std::string, Counter> counters_ AF_GUARDED_BY(mu_);
+};
+
+CounterRegistry& Registry() {
+  // Leaked singleton: counters are read by atexit-ordered reporters, so the
+  // registry must never be destroyed.
+  // airfair-lint: allow(guarded-field-discipline): leaked singleton; all access goes through the annotated CounterRegistry API
+  static auto* registry = new CounterRegistry();
+  return *registry;
 }
 
 }  // namespace
 
-Counter& GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  return CounterMap()[name];
-}
+Counter& GetCounter(const std::string& name) { return Registry().Get(name); }
 
 std::vector<std::pair<std::string, int64_t>> CounterSnapshot() {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  std::vector<std::pair<std::string, int64_t>> out;
-  out.reserve(CounterMap().size());
-  for (const auto& [name, counter] : CounterMap()) {
-    out.emplace_back(name, counter.value());
-  }
-  return out;
+  return Registry().Snapshot();
 }
 
-void ResetCounters() {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  for (auto& [name, counter] : CounterMap()) {
-    counter.Set(0);
-  }
-}
+void ResetCounters() { Registry().Reset(); }
 
 }  // namespace airfair

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
 #include "src/util/time.h"
 
 namespace airfair {
@@ -142,7 +143,9 @@ class Counter {
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  // Relaxed atomic: counters carry no synchronisation duties; readers
+  // (CounterSnapshot) run at quiescent points or tolerate stale values.
+  std::atomic<int64_t> value_ AF_ATOMIC{0};
 };
 
 // Returns the counter registered under `name`, creating it if needed.

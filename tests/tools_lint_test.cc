@@ -468,6 +468,191 @@ TEST(LintRule, AuditRegistrationSuppressionIsFileScope) {
 }
 
 // ---------------------------------------------------------------------------
+// guarded-field-discipline
+
+TEST(LintRule, UndisciplinedConcurrencyStateFlagged) {
+  TempRepo repo;
+  repo.WriteFile("src/util/r.h",
+                 WithGuard("src/util/r.h",
+                           "#include <atomic>\n"
+                           "#include <mutex>\n"
+                           "class Registry {\n"
+                           " private:\n"
+                           "  std::mutex mu_;\n"             // Raw mutex: use the wrapper.
+                           "  std::atomic<int> hits_{0};\n"  // Atomic without discipline.
+                           "};\n"));
+  repo.WriteFile("src/util/r.cc",
+                 "#include \"src/util/r.h\"\n"
+                 "static int g_total = 0;\n");  // Mutable static without discipline.
+  const auto findings = For(repo.Run(), "guarded-field-discipline");
+  ASSERT_EQ(findings.size(), 3u);
+  // Sorted by (file, line): the .cc's static first, then the header fields.
+  EXPECT_EQ(findings[0].file, "src/util/r.cc");
+  EXPECT_NE(findings[0].message.find("g_total"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("raw std::mutex"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("mu_"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("std::atomic"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("hits_"), std::string::npos);
+}
+
+TEST(LintRule, DeclaredDisciplineAndExemptionsAreClean) {
+  TempRepo repo;
+  repo.WriteFile(
+      "src/util/r.h",
+      WithGuard("src/util/r.h",
+                "#include <atomic>\n"
+                "#include \"src/util/mutex.h\"\n"
+                "#include \"src/util/thread_annotations.h\"\n"
+                "class Registry {\n"
+                " private:\n"
+                "  Mutex mu_;\n"  // The wrapper is its own capability.
+                "  int table_ AF_GUARDED_BY(mu_);\n"
+                "  std::atomic<int> hits_ AF_ATOMIC{0};\n"
+                "  static constexpr int kMax = 8;\n"  // Const: no discipline needed.
+                "};\n"
+                "inline thread_local int tls_depth = 0;\n"));  // Per-thread ownership.
+  EXPECT_TRUE(For(repo.Run(), "guarded-field-discipline").empty());
+}
+
+TEST(LintRule, GuardedFieldOutsideSrcIsFineAndAllowSuppresses) {
+  TempRepo repo;
+  // tools/ and tests/ are outside the rule's scope.
+  repo.WriteFile("tools/t.cc", "#include <atomic>\nstd::atomic<int> g_count{0};\n");
+  repo.WriteFile("src/util/s.cc",
+                 "#include <atomic>\n"
+                 "// airfair-lint: allow(guarded-field-discipline): fixture\n"
+                 "std::atomic<int> g_count{0};\n");
+  EXPECT_TRUE(For(repo.Run(), "guarded-field-discipline").empty());
+}
+
+// ---------------------------------------------------------------------------
+// domain-crossing
+
+TEST(LintRule, ThreadEntryTuNamingDomainTypeFlaggedAcrossFiles) {
+  TempRepo repo;
+  // The domain type and the violation live in different files: only the
+  // tree-wide symbol index connects them.
+  repo.WriteFile("src/core/widget.h",
+                 WithGuard("src/core/widget.h", "class Widget { public: void Tick(); };"));
+  repo.WriteFile("src/scenario/pool.cc",
+                 "#include <thread>\n"
+                 "#include \"src/core/widget.h\"\n"
+                 "void Run() { std::thread t([] { Widget w; w.Tick(); }); t.join(); }\n");
+  const auto findings = For(repo.Run(), "domain-crossing");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/scenario/pool.cc");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("Widget"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/core/widget.h"), std::string::npos);
+}
+
+TEST(LintRule, GatewayWhitelistAndNonThreadTusAreClean) {
+  TempRepo repo;
+  repo.WriteFile("src/core/widget.h",
+                 WithGuard("src/core/widget.h", "class Widget { public: void Tick(); };"));
+  // Whitelisted gateway type: the sanctioned boundary crossing.
+  repo.WriteFile("tools/analyze/domain_gateways.txt", "# fixture\nWidget\n");
+  repo.WriteFile("src/scenario/pool.cc",
+                 "#include <thread>\n"
+                 "#include \"src/core/widget.h\"\n"
+                 "void Run() { std::thread t([] { Widget w; w.Tick(); }); t.join(); }\n");
+  // Not a thread-entry TU: names the type but never spawns a thread
+  // (std::thread::id is a nested-name use, not a spawn).
+  repo.WriteFile("src/scenario/view.cc",
+                 "#include <thread>\n"
+                 "#include \"src/core/widget.h\"\n"
+                 "std::thread::id Observe(Widget* w) { return std::thread::id(); }\n");
+  EXPECT_TRUE(For(repo.Run(), "domain-crossing").empty());
+}
+
+TEST(LintRule, DomainTuSpawningThreadFlaggedAndAllowSuppresses) {
+  TempRepo repo;
+  repo.WriteFile("src/sim/loop.cc", "#include <thread>\nvoid F() { std::thread t; }\n");
+  repo.WriteFile("src/mac/m.cc",
+                 "#include <thread>\n"
+                 "// airfair-lint: allow(domain-crossing): fixture\n"
+                 "void G() { std::thread t; }\n");
+  const auto findings = For(repo.Run(), "domain-crossing");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/sim/loop.cc");
+  EXPECT_NE(findings[0].message.find("single-threaded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+TEST(LintRule, InvertedLockNestingFlagged) {
+  TempRepo repo;
+  repo.WriteFile("tools/analyze/lock_order.txt", "# outermost first\nalpha\nbeta\n");
+  repo.WriteFile("src/util/l.cc",
+                 "#include <mutex>\n"
+                 "void F(std::mutex& alpha, std::mutex& beta) {\n"
+                 "  std::lock_guard<std::mutex> b(beta);\n"
+                 "  std::lock_guard<std::mutex> a(alpha);\n"  // beta held: inversion.
+                 "}\n");
+  const auto findings = For(repo.Run(), "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/l.cc");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("alpha"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("beta"), std::string::npos);
+}
+
+TEST(LintRule, DeclaredOrderNestingAndSiblingScopesAreClean) {
+  TempRepo repo;
+  repo.WriteFile("tools/analyze/lock_order.txt", "alpha\nbeta\n");
+  repo.WriteFile("src/util/l.cc",
+                 "#include <mutex>\n"
+                 "void F(std::mutex& alpha, std::mutex& beta) {\n"
+                 "  std::lock_guard<std::mutex> a(alpha);\n"
+                 "  std::lock_guard<std::mutex> b(beta);\n"  // Declared order: fine.
+                 "}\n"
+                 "void G(std::mutex& alpha, std::mutex& beta) {\n"
+                 "  { std::lock_guard<std::mutex> b(beta); }\n"
+                 "  { std::lock_guard<std::mutex> a(alpha); }\n"  // Sequential, not nested.
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "lock-order").empty());
+}
+
+TEST(LintRule, ReacquiringHeldLockFlaggedAndMissingHierarchyIsSilent) {
+  TempRepo repo;
+  // No lock_order.txt yet: the re-acquisition check still needs none.
+  repo.WriteFile("src/util/l.cc",
+                 "#include <mutex>\n"
+                 "void F(std::mutex& m) {\n"
+                 "  std::lock_guard<std::mutex> a(m);\n"
+                 "  std::lock_guard<std::mutex> b(m);\n"  // Self-deadlock.
+                 "}\n");
+  const auto findings = For(repo.Run(), "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("re-acquisition"), std::string::npos);
+
+  // Unlisted locks nested in any order are outside the declared hierarchy.
+  TempRepo repo2;
+  repo2.WriteFile("tools/analyze/lock_order.txt", "alpha\nbeta\n");
+  repo2.WriteFile("src/util/m.cc",
+                  "#include <mutex>\n"
+                  "void F(std::mutex& x, std::mutex& y) {\n"
+                  "  std::lock_guard<std::mutex> a(y);\n"
+                  "  std::lock_guard<std::mutex> b(x);\n"
+                  "}\n");
+  EXPECT_TRUE(For(repo2.Run(), "lock-order").empty());
+}
+
+TEST(LintRule, LockOrderSuppressed) {
+  TempRepo repo;
+  repo.WriteFile("tools/analyze/lock_order.txt", "alpha\nbeta\n");
+  repo.WriteFile("src/util/l.cc",
+                 "#include <mutex>\n"
+                 "void F(std::mutex& alpha, std::mutex& beta) {\n"
+                 "  std::lock_guard<std::mutex> b(beta);\n"
+                 "  // airfair-lint: allow(lock-order): fixture\n"
+                 "  std::lock_guard<std::mutex> a(alpha);\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "lock-order").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression mechanics and output plumbing.
 
 TEST(Suppressions, WrongRuleIdDoesNotSuppress) {
@@ -490,7 +675,7 @@ TEST(Suppressions, CommaListCoversMultipleRules) {
 
 TEST(Output, AllRulesAreDocumentedAndJsonIsWellFormed) {
   const auto rules = AllRules();
-  EXPECT_EQ(rules.size(), 14u);
+  EXPECT_EQ(rules.size(), 17u);
   for (const RuleInfo& rule : rules) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());

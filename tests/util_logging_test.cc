@@ -1,0 +1,78 @@
+// Tests for the leveled logging utility (src/util/logging.h): threshold
+// gating, and the regression test for the kOff sentinel bug — AF_LOG(kOff)
+// used to emit *unconditionally*, because the macro's short-circuit
+// compares `kOff < GetLogLevel()`, which is false even when the level is
+// kOff, so the LineBuilder always ran. EmitLogLine now refuses severities
+// at or above kOff.
+
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace airfair {
+namespace {
+
+// Restores the process-global level around each test (other suites expect
+// the default kWarning).
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+
+  // Captured stderr emitted by `fn`.
+  template <typename Fn>
+  std::string Capture(Fn&& fn) {
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+  }
+
+ private:
+  LogLevel previous_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreDiscarded) {
+  SetLogLevel(LogLevel::kError);
+  const std::string out = Capture([] { AF_LOG(kInfo) << "quiet"; });
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST_F(LoggingTest, MessagesAtOrAboveThresholdEmitLevelFileAndText) {
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out = Capture([] { AF_LOG(kError) << "boom " << 42; });
+  EXPECT_NE(out.find("ERROR"), std::string::npos) << out;
+  EXPECT_NE(out.find("util_logging_test.cc"), std::string::npos) << out;
+  EXPECT_NE(out.find("boom 42"), std::string::npos) << out;
+}
+
+TEST_F(LoggingTest, LevelOffSilencesEverySeverity) {
+  SetLogLevel(LogLevel::kOff);
+  const std::string out = Capture([] {
+    AF_LOG(kTrace) << "t";
+    AF_LOG(kError) << "e";
+  });
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+// The kOff regression: before the EmitLogLine guard, this emitted at every
+// threshold (including the default kWarning) because kOff < anything is
+// never true, which routed the macro to the builder branch.
+TEST_F(LoggingTest, LogAtKOffSeverityNeverEmits) {
+  for (const LogLevel level : {LogLevel::kTrace, LogLevel::kWarning, LogLevel::kOff}) {
+    SetLogLevel(level);
+    const std::string out = Capture([] { AF_LOG(kOff) << "sentinel, not a severity"; });
+    EXPECT_TRUE(out.empty()) << "level=" << static_cast<int>(level) << ": " << out;
+  }
+}
+
+TEST_F(LoggingTest, SetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace airfair

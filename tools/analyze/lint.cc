@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "tools/analyze/symbol_index.h"
+
 namespace airfair {
 namespace analyze {
 namespace {
@@ -261,6 +263,7 @@ class Linter {
 
   LintResult Run() {
     CollectFiles();
+    BuildIndex();
     for (const FileData& file : files_) {
       LintHotConstructs(file);
       LintTraceMacroDiscipline(file);
@@ -272,6 +275,9 @@ class Linter {
     }
     LintCoreNeedsTest();
     LintAuditRegistration();
+    LintGuardedFieldDiscipline();
+    LintDomainCrossing();
+    LintLockOrder();
     std::sort(result_.findings.begin(), result_.findings.end(),
               [](const LintFinding& a, const LintFinding& b) {
                 return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
@@ -345,6 +351,211 @@ class Linter {
       if (f.path == path) return &f;
     }
     return nullptr;
+  }
+
+  // Pass 1 of the two-pass analysis: the tree-wide symbol index the
+  // concurrency-discipline rules below query. Built over every collected
+  // file so cross-file facts (where a class lives, which TUs spawn
+  // threads) are visible to rules running on any other file.
+  void BuildIndex() {
+    std::vector<IndexSourceFile> inputs;
+    inputs.reserve(files_.size());
+    for (const FileData& f : files_) {
+      inputs.push_back(IndexSourceFile{f.path, &f.code, &f.raw});
+    }
+    index_ = BuildSymbolIndex(inputs);
+  }
+
+  void ReportAt(const std::string& path, const std::string& rule, int line, std::string message) {
+    if (const FileData* file = Find(path); file != nullptr) {
+      Report(*file, rule, line, std::move(message));
+    }
+  }
+
+  // One identifier per line; '#' starts a comment. Used for the lock
+  // hierarchy and the domain gateway whitelist.
+  static std::vector<std::string> ReadListFile(const fs::path& path) {
+    std::vector<std::string> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line = line.substr(0, hash);
+      line = Trim(line);
+      if (line.empty()) continue;
+      size_t e = 0;
+      while (e < line.size() && std::isspace(static_cast<unsigned char>(line[e])) == 0) ++e;
+      out.push_back(line.substr(0, e));
+    }
+    return out;
+  }
+
+  // --- guarded-field-discipline ---
+  // Every concurrency-relevant declaration in src/ must say what protects
+  // it: raw std::mutex members become the annotated Mutex wrapper (a plain
+  // std::mutex is invisible to clang -Wthread-safety), atomics and mutable
+  // statics carry AF_GUARDED_BY / AF_ATOMIC or an allow with a reason.
+  // thread_local (per-thread ownership), const/constexpr and the Mutex
+  // wrapper itself (a capability, not guarded state) are exempt.
+  void LintGuardedFieldDiscipline() {
+    const auto check = [&](const std::string& path, int line, const std::string& what,
+                           bool is_thread_local, bool is_const, bool is_atomic, bool is_raw_mutex,
+                           bool is_wrapped_mutex, bool is_mutable_static, bool has_annotation) {
+      if (!InSrc(path)) return;
+      if (is_thread_local || is_const) return;
+      if (is_raw_mutex) {
+        ReportAt(path, "guarded-field-discipline", line,
+                 "raw std::mutex " + what +
+                     "; declare airfair::Mutex (src/util/mutex.h) so clang -Wthread-safety "
+                     "can track what it guards");
+        return;
+      }
+      if (is_wrapped_mutex) return;
+      if (is_atomic) {
+        if (!has_annotation) {
+          ReportAt(path, "guarded-field-discipline", line,
+                   "std::atomic " + what +
+                       " without a declared discipline; add AF_GUARDED_BY(lock) or mark it "
+                       "intentionally lock-free with AF_ATOMIC "
+                       "(src/util/thread_annotations.h)");
+        }
+        return;
+      }
+      if (is_mutable_static && !has_annotation) {
+        ReportAt(path, "guarded-field-discipline", line,
+                 "mutable static " + what +
+                     " without a declared discipline; guard it (AF_GUARDED_BY), make it "
+                     "atomic (AF_ATOMIC), use thread_local, or suppress with a reason");
+      }
+    };
+    for (const ClassSymbol& cls : index_.classes) {
+      for (const FieldSymbol& f : cls.fields) {
+        check(f.file, f.line, "member `" + f.name + "` of " + cls.name, f.is_thread_local,
+              f.is_const, f.is_atomic, f.is_raw_mutex, f.is_wrapped_mutex, f.is_static,
+              f.has_annotation);
+      }
+    }
+    for (const StaticSymbol& s : index_.statics) {
+      check(s.file, s.line,
+            std::string(s.is_function_local ? "function-local static `" : "global `") + s.name +
+                "`",
+            s.is_thread_local, s.is_const, s.is_atomic, s.is_raw_mutex, s.is_wrapped_mutex,
+            /*is_mutable_static=*/true, s.has_annotation);
+    }
+  }
+
+  // --- domain-crossing ---
+  // Types declared in the hot dirs are event-loop-domain: owned by exactly
+  // one simulation loop, never safe to touch from another thread. The rule
+  // polices the boundary in both directions: thread-entry TUs (anything in
+  // src/ that spawns std::thread, plus the parallel runner) may not name a
+  // domain type except via the gateway whitelist, and domain TUs may not
+  // spawn threads at all.
+  void LintDomainCrossing() {
+    std::map<std::string, std::string> domain_types;  // name -> declaring file
+    for (const auto& [name, declaring_files] : index_.files_by_type) {
+      for (const std::string& f : declaring_files) {
+        if (InHotDir(f)) {
+          domain_types.emplace(name, f);
+          break;
+        }
+      }
+    }
+    std::set<std::string> gateways;
+    {
+      const fs::path p = fs::path(options_.repo_root) / options_.gateway_file;
+      if (fs::exists(p)) {
+        const std::vector<std::string> listed = ReadListFile(p);
+        gateways.insert(listed.begin(), listed.end());
+      }
+    }
+    for (const FileData& file : files_) {
+      if (!InSrc(file.path)) continue;
+      const bool is_domain = InHotDir(file.path);
+      bool thread_entry = file.path.find("parallel_runner") != std::string::npos;
+      for (size_t i = 0; i < file.code.size(); ++i) {
+        // The std::thread *type* marks a spawner; nested-name uses like
+        // std::thread::id or std::thread::hardware_concurrency() do not
+        // start threads and are fine anywhere.
+        bool spawns = false;
+        for (size_t pos = FindToken(file.code[i], "std::thread"); pos != std::string::npos;
+             pos = FindToken(file.code[i], "std::thread", pos + 11)) {
+          if (pos + 11 >= file.code[i].size() || file.code[i][pos + 11] != ':') {
+            spawns = true;
+            break;
+          }
+        }
+        if (!spawns) continue;
+        const int line = static_cast<int>(i) + 1;
+        if (is_domain) {
+          Report(file, "domain-crossing", line,
+                 "event-loop-domain TU spawns std::thread; domain code is single-threaded "
+                 "by design — thread management belongs to the scenario layer");
+        } else {
+          thread_entry = true;
+        }
+      }
+      if (is_domain || !thread_entry) continue;
+      for (size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& code = file.code[i];
+        for (size_t k = 0; k < code.size();) {
+          if (!IsIdentChar(code[k])) {
+            ++k;
+            continue;
+          }
+          const size_t start = k;
+          while (k < code.size() && IsIdentChar(code[k])) ++k;
+          if (start > 0 && IsIdentChar(code[start - 1])) continue;
+          const std::string ident = code.substr(start, k - start);
+          const auto it = domain_types.find(ident);
+          if (it == domain_types.end() || gateways.count(ident) > 0) continue;
+          Report(file, "domain-crossing", static_cast<int>(i) + 1,
+                 "thread-entry TU names event-loop-domain type `" + ident + "` (declared in " +
+                     it->second +
+                     "); cross the boundary only through a gateway listed in "
+                     "tools/analyze/domain_gateways.txt");
+          break;  // One finding per line keeps the output readable.
+        }
+      }
+    }
+  }
+
+  // --- lock-order ---
+  // tools/analyze/lock_order.txt declares the lock hierarchy, outermost
+  // first. Acquiring a lock that the hierarchy places *before* one already
+  // held is an inversion (a deadlock with any thread locking in the
+  // declared order); re-acquiring a held lock self-deadlocks outright.
+  // Locks not listed are outside the declared hierarchy and never flagged;
+  // without a hierarchy file only the (unconditional) re-acquisition check
+  // runs.
+  void LintLockOrder() {
+    const fs::path p = fs::path(options_.repo_root) / options_.lock_order_file;
+    std::map<std::string, int> rank;
+    if (fs::exists(p)) {
+      const std::vector<std::string> order = ReadListFile(p);
+      for (size_t i = 0; i < order.size(); ++i) {
+        rank.emplace(order[i], static_cast<int>(i));
+      }
+    }
+    for (const LockAcquisition& acq : index_.acquisitions) {
+      for (const std::string& held : acq.held) {
+        if (held == acq.lock_name) {
+          ReportAt(acq.file, "lock-order", acq.line,
+                   "re-acquisition of already-held lock `" + held + "` self-deadlocks");
+          continue;
+        }
+        const auto held_rank = rank.find(held);
+        const auto acq_rank = rank.find(acq.lock_name);
+        if (held_rank == rank.end() || acq_rank == rank.end()) continue;
+        if (held_rank->second > acq_rank->second) {
+          ReportAt(acq.file, "lock-order", acq.line,
+                   "acquires `" + acq.lock_name + "` while holding `" + held +
+                       "`, inverting the declared hierarchy (tools/analyze/lock_order.txt "
+                       "orders `" +
+                       acq.lock_name + "` before `" + held + "`)");
+        }
+      }
+    }
   }
 
   // --- hot-std-function / hot-naked-new / hot-shared-ptr / no-const-cast /
@@ -662,6 +873,7 @@ class Linter {
 
   LintOptions options_;
   std::vector<FileData> files_;
+  SymbolIndex index_;
   LintResult result_;
 };
 
@@ -704,6 +916,12 @@ std::vector<RuleInfo> AllRules() {
       {"core-needs-test", "src/core and src/aqm .cc files need a test including them"},
       {"audit-registration", "CheckInvariants components must be registered with the auditor"},
       {"no-using-namespace", "no using namespace in headers"},
+      {"guarded-field-discipline",
+       "mutexes, atomics and mutable statics in src/ declare their discipline "
+       "(Mutex wrapper, AF_GUARDED_BY, AF_ATOMIC)"},
+      {"domain-crossing",
+       "thread-entry TUs touch event-loop-domain types only via declared gateways"},
+      {"lock-order", "lock acquisitions nest per the declared hierarchy (lock_order.txt)"},
   };
 }
 

@@ -4,9 +4,11 @@
 // project-specific rules — the ones that keep the simulator's hot paths
 // allocation-free and its components wired into the invariant auditor —
 // are enforced by this self-contained engine instead. It is a lexer-level
-// line analyzer, not a compiler: comments and string literals are stripped
-// with a real lexer state machine, then ~a dozen rules run over the code
-// text, the include lists and the cross-file structure.
+// analyzer, not a compiler, and runs in two passes: pass 1 strips comments
+// and string literals with a real lexer state machine and builds a
+// tree-wide symbol index (tools/analyze/symbol_index.h — classes, members,
+// annotations, lock acquisitions); pass 2 runs the rules over the code
+// text, the include lists, the cross-file structure and the index.
 //
 // Rules (ids are stable; they feed suppressions and CI output):
 //   hot-std-function    std::function in src/{sim,mac,core,aqm,net} — use
@@ -37,6 +39,23 @@
 //                       registered with the auditor somewhere (AddCheck /
 //                       RegisterAudits), directly or by delegation
 //   no-using-namespace  using namespace in headers
+//   guarded-field-discipline
+//                       mutex/atomic/mutable-static members and statics in
+//                       src/ must declare their concurrency discipline:
+//                       raw std::mutex -> the annotated Mutex wrapper
+//                       (src/util/mutex.h); atomics and mutable statics ->
+//                       AF_GUARDED_BY / AF_ATOMIC
+//                       (src/util/thread_annotations.h). thread_local and
+//                       const are exempt; a Mutex is its own capability
+//   domain-crossing     types declared in src/{sim,core,aqm,mac,net} are
+//                       event-loop-domain; thread-entry TUs (std::thread
+//                       spawners, the parallel runner) may not name them
+//                       except via tools/analyze/domain_gateways.txt, and
+//                       domain TUs may not spawn threads
+//   lock-order          RAII lock acquisitions must nest in the order
+//                       declared in tools/analyze/lock_order.txt
+//                       (outermost first); re-acquiring a held lock is
+//                       flagged too
 //
 // Suppressions: `// airfair-lint: allow(rule-id): reason` on the flagged
 // line or the line directly above it. File-scope rules (header-guard,
@@ -74,6 +93,13 @@ struct LintOptions {
   // Files or directories to lint, relative to repo_root (directories are
   // walked recursively for .h/.cc, skipping build output).
   std::vector<std::string> roots;
+  // Declared lock hierarchy (outermost first) for the lock-order rule and
+  // gateway whitelist for the domain-crossing rule, relative to repo_root.
+  // With the hierarchy file absent, lock-order still flags re-acquisition
+  // of a held lock but skips ordering checks; an absent gateway file means
+  // an empty whitelist.
+  std::string lock_order_file = "tools/analyze/lock_order.txt";
+  std::string gateway_file = "tools/analyze/domain_gateways.txt";
 };
 
 struct LintResult {
