@@ -1,5 +1,7 @@
 #include "src/net/packet_pool.h"
 
+#include <utility>
+
 #include "src/util/check.h"
 #include "src/util/stats.h"
 
@@ -18,49 +20,86 @@ void PacketDeleter::operator()(Packet* packet) const noexcept {
 }
 
 PacketPool::~PacketPool() {
-  AF_CHECK_EQ(outstanding_, 0)
+  AF_CHECK_EQ(outstanding(), 0)
       << " packets still live at pool destruction (a PacketPtr outlived the "
          "pool; check Testbed member ordering)";
-  GetCounter("packets.pool.allocated").Increment(total_allocated_);
-  GetCounter("packets.pool.recycled").Increment(total_recycled_);
+  GetCounter("packets.pool.allocated").Increment(total_allocated());
+  GetCounter("packets.pool.recycled").Increment(total_recycled());
   GetCounter("packets.pool.chunks").Increment(chunks());
 }
 
-void PacketPool::AddChunk() {
+int64_t PacketPool::total_allocated() const {
+  int64_t total = 0;
+  for (const DomainSlot& slot : slots_) {
+    total += slot.allocated;
+  }
+  return total;
+}
+
+int64_t PacketPool::total_recycled() const {
+  int64_t total = 0;
+  for (const DomainSlot& slot : slots_) {
+    total += slot.recycled;
+  }
+  return total;
+}
+
+int64_t PacketPool::outstanding() const {
+  int64_t total = 0;
+  for (const DomainSlot& slot : slots_) {
+    total += slot.outstanding;
+  }
+  return total;
+}
+
+int64_t PacketPool::chunks() const {
+  MutexLock lock(&chunk_mutex_);
+  return static_cast<int64_t>(chunks_.size());
+}
+
+void PacketPool::AddChunk(DomainSlot& slot) {
   // make_unique<Packet[]> value-initialises; fields are overwritten again on
-  // Allocate, but the free-list links must start out sane.
-  chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
-  Packet* chunk = chunks_.back().get();
+  // Allocate, but the free-list links must start out sane. The chunk is
+  // registered under the lock; its packets go onto the calling domain's
+  // private free list, so no other thread sees them.
+  std::unique_ptr<Packet[]> storage = std::make_unique<Packet[]>(kChunkPackets);
+  Packet* chunk = storage.get();
+  {
+    MutexLock lock(&chunk_mutex_);
+    chunks_.push_back(std::move(storage));
+  }
   for (int i = kChunkPackets - 1; i >= 0; --i) {
-    chunk[i].pool_next = free_head_;
-    free_head_ = &chunk[i];
+    chunk[i].pool_next = slot.free_head;
+    slot.free_head = &chunk[i];
   }
 }
 
 PacketPtr PacketPool::Allocate() {
-  if (free_head_ == nullptr) {
-    AddChunk();
+  DomainSlot& slot = CurrentSlot();
+  if (slot.free_head == nullptr) {
+    AddChunk(slot);
   } else {
-    ++total_recycled_;
+    ++slot.recycled;
   }
-  Packet* packet = free_head_;
-  free_head_ = packet->pool_next;
+  Packet* packet = slot.free_head;
+  slot.free_head = packet->pool_next;
   // Reset to a pristine packet. Assigning a value-initialised temporary
   // keeps this in lockstep with the Packet field list (no hand-maintained
   // reset routine to fall out of date) and costs a ~160-byte store.
   *packet = Packet{};
   packet->origin_pool = this;
-  ++total_allocated_;
-  ++outstanding_;
+  ++slot.allocated;
+  ++slot.outstanding;
   return PacketPtr(packet);
 }
 
 void PacketPool::Release(Packet* packet) {
   AF_DCHECK_EQ(packet->origin_pool, this);
-  AF_DCHECK_GT(outstanding_, 0);
-  packet->pool_next = free_head_;
-  free_head_ = packet;
-  --outstanding_;
+  DomainSlot& slot = CurrentSlot();
+  packet->pool_next = slot.free_head;
+  slot.free_head = packet;
+  --slot.outstanding;
 }
 
 }  // namespace airfair
+

@@ -31,12 +31,12 @@ void WiredLink::Direction::StartNext() {
   // event closure (EventFn accepts move-only captures, so no shared_ptr
   // holder and no heap traffic); if the simulation ends before the event
   // fires, the closure's destructor releases the packet.
-  sim_->PostAfter(tx_time + config_.one_way_delay,
-                  [this, packet = std::move(packet)]() mutable {
-                    AF_DCHECK(deliver_) << " wired link delivery not wired";
-                    ++delivered_;
-                    deliver_(std::move(packet));
-                  });
+  sim_->PostCrossAfter(remote_domain_, tx_time + config_.one_way_delay,
+                       [this, packet = std::move(packet)]() mutable {
+                         AF_DCHECK(deliver_) << " wired link delivery not wired";
+                         ++delivered_;
+                         deliver_(std::move(packet));
+                       });
   sim_->PostAfter(tx_time, [this] { StartNext(); });
 }
 

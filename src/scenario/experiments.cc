@@ -8,6 +8,7 @@
 #include "src/apps/voip.h"
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
+#include "src/sim/shard_mailbox.h"
 
 namespace airfair {
 
@@ -46,10 +47,17 @@ StationMeasurements RunUdpDownload(const TestbedConfig& config, const Experiment
   Testbed tb(config);
   const int n = tb.station_count();
 
+  // Each app is built (and started) under its owner's shard domain so its
+  // timers land in the event loop that owns the state it touches; with
+  // sharding off the scopes are inert (see ScopedShardDomain).
   std::vector<std::unique_ptr<UdpSink>> sinks;
   std::vector<std::unique_ptr<UdpSource>> sources;
   for (int i = 0; i < n; ++i) {
-    sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), kUdpPort));
+    {
+      ScopedShardDomain at_station(tb.station_domain(i));
+      sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), kUdpPort));
+    }
+    ScopedShardDomain at_server(tb.server_domain());
     UdpSource::Config src;
     src.rate_bps = offered_bps_per_station;
     sources.push_back(
@@ -96,8 +104,11 @@ StationMeasurements RunTcpDownload(const TestbedConfig& config, const Experiment
     if (!bulk[static_cast<size_t>(i)]) {
       continue;
     }
-    listeners[static_cast<size_t>(i)] =
-        std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig());
+    {
+      ScopedShardDomain at_station(tb.station_domain(i));
+      listeners[static_cast<size_t>(i)] =
+          std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig());
+    }
     // NOTE: the paper's download direction means the *server-side* accepted
     // socket is the receiver of nothing; the station-side accepted socket
     // receives the bytes. Here the server is the connecting side, so the
@@ -105,6 +116,7 @@ StationMeasurements RunTcpDownload(const TestbedConfig& config, const Experiment
     listeners[static_cast<size_t>(i)]->on_accept = [&receivers, i](TcpSocket* s) {
       receivers[static_cast<size_t>(i)] = s;
     };
+    ScopedShardDomain at_server(tb.server_domain());
     auto sender = std::make_unique<TcpSocket>(tb.server_host(), TcpConfig());
     sender->Connect(tb.station_node(i), kBulkPort);
     sender->WriteForever();
@@ -115,11 +127,15 @@ StationMeasurements RunTcpDownload(const TestbedConfig& config, const Experiment
   std::unique_ptr<TcpListener> upload_listener;
   std::vector<std::unique_ptr<TcpSocket>> uploaders;
   if (options.bidirectional) {
-    upload_listener = std::make_unique<TcpListener>(tb.server_host(), kUploadPort, TcpConfig());
+    {
+      ScopedShardDomain at_server(tb.server_domain());
+      upload_listener = std::make_unique<TcpListener>(tb.server_host(), kUploadPort, TcpConfig());
+    }
     for (int i = 0; i < n; ++i) {
       if (!bulk[static_cast<size_t>(i)]) {
         continue;
       }
+      ScopedShardDomain at_station(tb.station_domain(i));
       auto up = std::make_unique<TcpSocket>(tb.station_host(i), TcpConfig());
       up->Connect(tb.server_node(), kUploadPort);
       up->WriteForever();
@@ -133,6 +149,7 @@ StationMeasurements RunTcpDownload(const TestbedConfig& config, const Experiment
     if (!ping[static_cast<size_t>(i)]) {
       continue;
     }
+    ScopedShardDomain at_server(tb.server_domain());
     PingSender::Config cfg;
     cfg.interval = options.ping_interval;
     pings[static_cast<size_t>(i)] =
@@ -197,7 +214,11 @@ SparseStationResult RunSparseStation(uint64_t seed, bool sparse_optimization, bo
   std::vector<std::unique_ptr<UdpSink>> sinks;
   std::vector<std::unique_ptr<UdpSource>> sources;
   for (int i = 0; i < 3; ++i) {
-    sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), kUdpPort));
+    {
+      ScopedShardDomain at_station(tb.station_domain(i));
+      sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), kUdpPort));
+    }
+    ScopedShardDomain at_server(tb.server_domain());
     UdpSource::Config src;
     src.rate_bps = 60e6;
     sources.push_back(
@@ -207,7 +228,10 @@ SparseStationResult RunSparseStation(uint64_t seed, bool sparse_optimization, bo
   PingSender::Config ping_cfg;
   ping_cfg.interval = TimeUs::FromMilliseconds(100);
   PingSender ping(tb.server_host(), tb.station_node(3), ping_cfg);
-  ping.Start();
+  {
+    ScopedShardDomain at_server(tb.server_domain());
+    ping.Start();
+  }
 
   tb.sim().RunFor(timing.warmup);
   ping.StartMeasuring(tb.sim().now());
@@ -236,11 +260,15 @@ VoipResult RunVoip(QueueScheme scheme, uint64_t seed, bool vo_marking, TimeUs ba
   std::vector<TcpSocket*> receivers(static_cast<size_t>(n), nullptr);
   std::vector<std::unique_ptr<TcpSocket>> senders;
   for (int i = 0; i < n; ++i) {
-    listeners[static_cast<size_t>(i)] =
-        std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig());
+    {
+      ScopedShardDomain at_station(tb.station_domain(i));
+      listeners[static_cast<size_t>(i)] =
+          std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig());
+    }
     listeners[static_cast<size_t>(i)]->on_accept = [&receivers, i](TcpSocket* s) {
       receivers[static_cast<size_t>(i)] = s;
     };
+    ScopedShardDomain at_server(tb.server_domain());
     auto sender = std::make_unique<TcpSocket>(tb.server_host(), TcpConfig());
     sender->Connect(tb.station_node(i), kBulkPort);
     sender->WriteForever();
@@ -252,7 +280,10 @@ VoipResult RunVoip(QueueScheme scheme, uint64_t seed, bool vo_marking, TimeUs ba
   VoipSource::Config voip_cfg;
   voip_cfg.tid = vo_marking ? kVoiceTid : kBestEffortTid;
   VoipSource voip(tb.server_host(), tb.station_node(slow_index), kVoipPort, voip_cfg);
-  voip.Start();
+  {
+    ScopedShardDomain at_server(tb.server_domain());
+    voip.Start();
+  }
 
   tb.sim().RunFor(timing.warmup);
   tb.StartMeasurement();
@@ -297,7 +328,12 @@ WebResult RunWeb(QueueScheme scheme, uint64_t seed, const WebPage& page, bool sl
   std::vector<std::unique_ptr<TcpListener>> listeners;
   std::vector<std::unique_ptr<TcpSocket>> senders;
   for (int i : bulk_stations) {
-    listeners.push_back(std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig()));
+    {
+      ScopedShardDomain at_station(tb.station_domain(i));
+      listeners.push_back(
+          std::make_unique<TcpListener>(tb.station_host(i), kBulkPort, TcpConfig()));
+    }
+    ScopedShardDomain at_server(tb.server_domain());
     auto sender = std::make_unique<TcpSocket>(tb.server_host(), TcpConfig());
     sender->Connect(tb.station_node(i), kBulkPort);
     sender->WriteForever();
@@ -316,6 +352,9 @@ WebResult RunWeb(QueueScheme scheme, uint64_t seed, const WebPage& page, bool sl
   tb.sim().RunFor(TimeUs::FromSeconds(2));
 
   std::function<void()> start_fetch = [&] {
+    // Fetches initiate from the browsing station's domain (the fetch opens
+    // a socket on the client host).
+    ScopedShardDomain at_client(tb.station_domain(client_index));
     fetch_in_progress = true;
     client.Fetch(page, [&](TimeUs plt) {
       plt_sum_s += plt.ToSeconds();

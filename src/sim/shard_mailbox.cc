@@ -1,0 +1,35 @@
+#include "src/sim/shard_mailbox.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace airfair {
+
+namespace {
+// airfair-lint: allow(mutable-static): thread-local domain id; each thread
+// owns its slot, so there is no cross-thread state here.
+thread_local int tl_shard_domain = 0;
+}  // namespace
+
+int CurrentShardDomain() { return tl_shard_domain; }
+
+ScopedShardDomain::ScopedShardDomain(int domain) : previous_(tl_shard_domain) {
+  tl_shard_domain = domain;
+}
+
+ScopedShardDomain::~ScopedShardDomain() { tl_shard_domain = previous_; }
+
+ShardMailbox::ShardMailbox(size_t capacity) : capacity_(capacity) {
+  entries_.reserve(capacity_);
+}
+
+void ShardMailbox::Post(int target, int64_t when_us, uint64_t post_id,
+                        InlineFunction<void(), 48> fn) {
+  AF_CHECK_LT(entries_.size(), capacity_)
+      << " shard mailbox overflow: domain posted more than " << capacity_
+      << " cross-domain events in one lookahead window";
+  entries_.push_back(Entry{target, when_us, post_id, std::move(fn)});
+}
+
+}  // namespace airfair

@@ -1,0 +1,154 @@
+// Cross-domain plumbing for the sharded event loop (src/sim/sharded_loop.h).
+//
+// The sharded loop partitions a simulation into `domains` — disjoint sets of
+// components whose state is only ever touched from one domain's events — and
+// runs each domain's event queue on its own thread inside conservative
+// lookahead windows. Everything that crosses a domain boundary goes through
+// the types in this header:
+//
+//  * CurrentShardDomain() / ScopedShardDomain: a thread-local domain id that
+//    tells Simulation (and the packet pool) which domain's queue the calling
+//    code belongs to. Single-threaded runs never change it, so the id is 0
+//    everywhere and the routed paths collapse to the plain EventLoop.
+//  * ShardWindowState: per-domain bookkeeping for one lookahead window — a
+//    record of every event posted during the window (in call order, the order
+//    the single-threaded loop would have issued sequence numbers in) and a
+//    log of every dispatch that posted something. The barrier merge replays
+//    these logs in deterministic (time, seq) order to assign the canonical
+//    sequence numbers the single-threaded loop would have assigned, which is
+//    what makes sharded runs bit-identical.
+//  * ShardMailbox: the fixed-capacity outbox that carries cross-domain events
+//    from the posting domain's window to the barrier merge. It is single
+//    writer (the owning domain's thread, during its window) single reader
+//    (the coordinator, after the barrier) — the barrier's acquire/release
+//    hand-off is the only synchronization it needs, so posting is lock-free.
+//
+// Sequence-number scheme: events posted *inside* a window cannot know their
+// canonical sequence number yet (it depends on how same-time dispatches in
+// other domains interleave), so they carry a provisional seq of
+// kShardProvisionalSeqBase + per-domain-post-index. Provisional seqs compare
+// correctly against everything that can share a heap with them mid-window:
+// they sort after every canonical seq (the base is far above any issuable
+// count), and among themselves post-index order equals eventual canonical
+// order. After the merge assigns canonical numbers, PatchShardSeqs rewrites
+// the heaps — a monotone rewrite, so the heap property is preserved.
+
+#ifndef AIRFAIR_SRC_SIM_SHARD_MAILBOX_H_
+#define AIRFAIR_SRC_SIM_SHARD_MAILBOX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/inline_function.h"
+
+namespace airfair {
+
+// Hard upper bound on shard domains; per-domain state (packet-pool slots,
+// merge cursors) is sized statically against it.
+inline constexpr int kMaxShardDomains = 8;
+
+// Domain id used while control-plane events (the auditor's sweep timer) run
+// on the coordinator between windows. Routed posts from such events land on
+// the control loop; domain-indexed state (packet pool) clamps it to 0.
+inline constexpr int kControlShardDomain = -1;
+
+// Provisional sequence numbers are kShardProvisionalSeqBase + post index.
+// 2^62 is unreachable by the canonical counter (which counts real events),
+// so provisional always sorts after canonical.
+inline constexpr uint64_t kShardProvisionalSeqBase = uint64_t{1} << 62;
+
+// The calling thread's current domain id: 0 by default (single-threaded
+// setup and all unsharded runs), the executing domain inside a window or a
+// serial instant, kControlShardDomain inside control events.
+int CurrentShardDomain();
+
+// RAII override of CurrentShardDomain() for the calling thread. Used by the
+// sharded loop around dispatch, and by scenario setup code to place
+// server-side app setup posts in the server domain. Harmless when sharding
+// is off (the id is simply never read).
+class ScopedShardDomain {
+ public:
+  explicit ScopedShardDomain(int domain);
+  ~ScopedShardDomain();
+
+  ScopedShardDomain(const ScopedShardDomain&) = delete;
+  ScopedShardDomain& operator=(const ScopedShardDomain&) = delete;
+
+ private:
+  int previous_;
+};
+
+// One event posted during a lookahead window, in call order. `cross_target`
+// is the destination domain for cross-domain posts, -1 for local posts.
+// `canonical` is filled in by the barrier merge (0 = not yet assigned; the
+// canonical counter starts at 1).
+struct ShardPostRecord {
+  int16_t cross_target = -1;
+  uint64_t canonical = 0;
+};
+
+// One dispatch that posted at least one event during the window: which event
+// ran (its time and — possibly provisional — seq) and the contiguous range
+// it appended to ShardWindowState::posts. Dispatches that post nothing need
+// no canonical numbers downstream and are not logged.
+struct ShardDispatchEntry {
+  int64_t when_us = 0;
+  uint64_t seq = 0;
+  uint32_t first_post = 0;
+  uint32_t post_count = 0;
+};
+
+// Per-domain window bookkeeping. Written only by the owning domain's thread
+// during its window; read by the coordinator after the barrier.
+struct ShardWindowState {
+  int domain = 0;
+  // Exclusive window end: every cross-domain post made during this window
+  // must land at or beyond it (the conservative-lookahead contract).
+  int64_t horizon_us = 0;
+  std::vector<ShardPostRecord> posts;
+  std::vector<ShardDispatchEntry> log;
+
+  void Reset(int d, int64_t horizon) {
+    domain = d;
+    horizon_us = horizon;
+    posts.clear();
+    log.clear();
+  }
+};
+
+// Fixed-capacity outbox for cross-domain events posted during a window.
+// Capacity is reserved up front and enforced with AF_CHECK, so posting never
+// reallocates mid-window.
+class ShardMailbox {
+ public:
+  struct Entry {
+    int target = 0;
+    int64_t when_us = 0;
+    // Index of the matching ShardPostRecord in the poster's window state;
+    // the merge pairs them back up to learn the canonical seq.
+    uint64_t post_id = 0;
+    InlineFunction<void(), 48> fn;
+  };
+
+  explicit ShardMailbox(size_t capacity = 1 << 16);
+
+  // Appends an entry. Checks (fatal) that the mailbox is not full.
+  void Post(int target, int64_t when_us, uint64_t post_id,
+            InlineFunction<void(), 48> fn);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  Entry& entry(size_t i) { return entries_[i]; }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_SIM_SHARD_MAILBOX_H_

@@ -1,0 +1,332 @@
+#include "src/sim/sharded_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace airfair {
+
+namespace {
+
+// airfair-lint: allow(mutable-static): thread-local pointer to the window
+// state executing on this thread; each thread owns its slot.
+thread_local ShardWindowState* tl_window = nullptr;
+
+// Spin this many iterations on the barrier atomics before yielding. Small on
+// purpose: on machines with fewer cores than shards the yield is what lets
+// the other side run at all; on big machines a window is long enough that a
+// few hundred spins cover the hand-off latency.
+constexpr int kSpinBudget = 256;
+
+}  // namespace
+
+ShardedEventLoop::ShardedEventLoop(EventLoop* domain0, const Config& config)
+    : config_(config), domain0_(domain0) {
+  AF_CHECK_GE(config_.shards, 2) << " sharding needs at least two domains";
+  AF_CHECK_LE(config_.shards, kMaxShardDomains);
+  AF_CHECK_GT(config_.lookahead.us(), 0)
+      << " conservative lookahead requires a positive cross-domain delay";
+  AF_CHECK_EQ(domain0_->pending_events(), size_t{0})
+      << " sharding must be enabled before any event is scheduled";
+
+  domain0_->SetSharedSeqSource(&next_canonical_);
+  for (int d = 1; d < config_.shards; ++d) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->SetSharedSeqSource(&next_canonical_);
+    loop->set_publish_time(false);
+    extra_loops_.push_back(std::move(loop));
+  }
+  control_.SetSharedSeqSource(&next_canonical_);
+  control_.set_publish_time(false);
+
+  mailboxes_.reserve(static_cast<size_t>(config_.shards));
+  for (int d = 0; d < config_.shards; ++d) {
+    mailboxes_.emplace_back(config_.mailbox_capacity);
+  }
+
+  workers_.reserve(static_cast<size_t>(config_.shards) - 1);
+  for (int d = 1; d < config_.shards; ++d) {
+    workers_.emplace_back([this, d] { WorkerMain(d); });
+  }
+}
+
+ShardedEventLoop::~ShardedEventLoop() {
+  stop_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  // The primary loop outlives this object (Simulation destroys the sharded
+  // coordinator first); point its numbering back at its own counter.
+  domain0_->SetSharedSeqSource(nullptr);
+  GetCounter("sim.shard.windows").Increment(windows_run_);
+  GetCounter("sim.shard.serial_events").Increment(serial_events_);
+  GetCounter("sim.shard.cross_events").Increment(cross_events_);
+}
+
+TimeUs ShardedEventLoop::ContextNow() const {
+  const int d = CurrentShardDomain();
+  if (d == kControlShardDomain) {
+    return control_.now();
+  }
+  if (d == 0) {
+    return domain0_->now();
+  }
+  return extra_loops_[static_cast<size_t>(d) - 1]->now();
+}
+
+void ShardedEventLoop::PostCrossAt(int target, TimeUs when, EventFn fn) {
+  AF_DCHECK_GE(target, 0);
+  AF_DCHECK_LT(target, config_.shards);
+  ShardWindowState* window = tl_window;
+  if (window == nullptr) {
+    // Between windows (setup, serial instants): all loops sit at the fence
+    // and numbering is canonical, so the event can land directly.
+    domain(target).PostAt(when, std::move(fn));
+    return;
+  }
+  // The time-travel guard: a cross-domain event below the horizon would have
+  // to execute inside a window that is already running (or already over) in
+  // the target domain.
+  AF_DCHECK_GE(when.us(), window->horizon_us)
+      << " cross-domain post from domain " << window->domain << " to domain "
+      << target << " at t=" << when.us()
+      << "us lands below the lookahead horizon " << window->horizon_us
+      << "us — conservative lookahead violated (a cross-domain path is"
+         " faster than the delay the lookahead was derived from)";
+  const uint64_t post_id = window->posts.size();
+  window->posts.push_back(ShardPostRecord{static_cast<int16_t>(target), 0});
+  mailboxes_[static_cast<size_t>(window->domain)].Post(target, when.us(),
+                                                       post_id, std::move(fn));
+}
+
+void ShardedEventLoop::WorkerMain(int d) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t generation;
+    int spins = 0;
+    while ((generation = generation_.load(std::memory_order_acquire)) == seen) {
+      if (++spins >= kSpinBudget) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    seen = generation;
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    RunDomainWindow(d);
+    done_[d].gen.store(generation, std::memory_order_release);
+  }
+}
+
+void ShardedEventLoop::RunDomainWindow(int d) {
+  EventLoop& loop = domain(d);
+  ShardWindowState& state = states_[d];
+  state.Reset(d, window_end_.us());
+  mailboxes_[static_cast<size_t>(d)].Clear();
+  ScopedShardDomain scope(d);
+  tl_window = &state;
+  loop.set_shard_window(&state);
+  loop.RunWindow(window_end_);
+  loop.set_shard_window(nullptr);
+  tl_window = nullptr;
+}
+
+void ShardedEventLoop::RunParallelWindow(TimeUs end) {
+  window_end_ = end;
+  const uint64_t generation =
+      generation_.fetch_add(1, std::memory_order_release) + 1;
+  // Domain 0 runs here on the coordinator, so its events keep the thread's
+  // trace buffer and check hooks — exactly like the single-threaded loop.
+  RunDomainWindow(0);
+  for (int d = 1; d < config_.shards; ++d) {
+    int spins = 0;
+    while (done_[d].gen.load(std::memory_order_acquire) != generation) {
+      if (++spins >= kSpinBudget) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  MergeWindow();
+  control_.AdvanceTo(end);
+  fence_ = end;
+  ++windows_run_;
+}
+
+void ShardedEventLoop::MergeWindow() {
+  // Pass 1: replay the dispatch logs of all domains in (time, seq) order —
+  // the order the single-threaded loop dispatched these events in —
+  // assigning each post its canonical sequence number as we pass it. A
+  // provisional seq at a log frontier always resolves: its poster dispatched
+  // earlier in the same domain (cross-domain posts never execute inside
+  // their posting window), so its record was already canonicalized.
+  size_t next_log[kMaxShardDomains] = {};
+  for (;;) {
+    int best = -1;
+    int64_t best_when = 0;
+    uint64_t best_seq = 0;
+    for (int d = 0; d < config_.shards; ++d) {
+      const ShardWindowState& state = states_[d];
+      if (next_log[d] >= state.log.size()) {
+        continue;
+      }
+      const ShardDispatchEntry& entry = state.log[next_log[d]];
+      uint64_t seq = entry.seq;
+      if (seq >= kShardProvisionalSeqBase) {
+        const ShardPostRecord& record =
+            state.posts[seq - kShardProvisionalSeqBase];
+        AF_DCHECK_NE(record.canonical, uint64_t{0})
+            << " unresolved provisional seq at merge frontier of domain " << d;
+        seq = record.canonical;
+      }
+      if (best < 0 || entry.when_us < best_when ||
+          (entry.when_us == best_when && seq < best_seq)) {
+        best = d;
+        best_when = entry.when_us;
+        best_seq = seq;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    ShardWindowState& state = states_[best];
+    const ShardDispatchEntry& entry = state.log[next_log[best]++];
+    for (uint32_t i = 0; i < entry.post_count; ++i) {
+      state.posts[entry.first_post + i].canonical = next_canonical_++;
+    }
+  }
+  // Pass 2: rewrite the provisional seqs still sitting in the domain heaps.
+  // The rewrite is monotone (one domain's posts canonicalize in post-index
+  // order), so the heap invariant survives in place. It MUST happen before
+  // any mailboxed event is pushed: a heap insertion that compares a final
+  // canonical seq against a provisional one orders same-time events wrongly
+  // once the provisional is patched below it — the single-threaded run
+  // dispatches the earlier-posted (lower canonical) event first, but the
+  // provisional base sorts it last. Found the hard way: an AP contention
+  // grant posted before a wire delivery, both landing on the same
+  // microsecond, swapped order and changed an airtime-fair UDP run.
+  for (int d = 0; d < config_.shards; ++d) {
+    domain(d).PatchShardSeqs(states_[d]);
+  }
+  // Pass 3: deliver the mailboxed cross-domain events. Every comparison the
+  // push makes now sees final canonical numbers, so each event lands exactly
+  // where the single-threaded heap would have it.
+  for (int d = 0; d < config_.shards; ++d) {
+    ShardMailbox& mailbox = mailboxes_[static_cast<size_t>(d)];
+    for (size_t m = 0; m < mailbox.size(); ++m) {
+      ShardMailbox::Entry& mail = mailbox.entry(m);
+      const ShardPostRecord& record = states_[d].posts[mail.post_id];
+      AF_DCHECK_EQ(record.cross_target, mail.target)
+          << " mailbox out of step with the post log in domain " << d;
+      AF_DCHECK_NE(record.canonical, uint64_t{0})
+          << " cross-domain post left uncanonicalized in domain " << d;
+      ++cross_events_;
+      domain(mail.target)
+          .InjectCanonical(TimeUs(mail.when_us), record.canonical,
+                           std::move(mail.fn));
+    }
+  }
+}
+
+void ShardedEventLoop::DrainInstant(TimeUs t) {
+  for (;;) {
+    EventLoop* best = nullptr;
+    int best_domain = 0;
+    uint64_t best_seq = 0;
+    auto consider = [&](EventLoop& loop, int context_domain) {
+      TimeUs when;
+      uint64_t seq;
+      if (!loop.PeekTop(&when, &seq)) {
+        return;
+      }
+      AF_DCHECK_GE(when.us(), t.us()) << " event below the fence at a serial instant";
+      if (when != t) {
+        return;
+      }
+      if (best == nullptr || seq < best_seq) {
+        best = &loop;
+        best_seq = seq;
+        best_domain = context_domain;
+      }
+    };
+    for (int d = 0; d < config_.shards; ++d) {
+      consider(domain(d), d);
+    }
+    consider(control_, kControlShardDomain);
+    if (best == nullptr) {
+      return;
+    }
+    // All heaps are canonical here, so the global minimum seq at time t is
+    // exactly the event the single-threaded loop would run next.
+    ScopedShardDomain scope(best_domain);
+    best->RunTop();
+    ++serial_events_;
+  }
+}
+
+void ShardedEventLoop::AdvanceAll(TimeUs t) {
+  for (int d = 0; d < config_.shards; ++d) {
+    domain(d).AdvanceTo(t);
+  }
+  control_.AdvanceTo(t);
+  fence_ = t;
+}
+
+void ShardedEventLoop::RunUntil(TimeUs end) {
+  AF_CHECK_GE(end.us(), fence_.us()) << " cannot run the fence backwards";
+  for (;;) {
+    TimeUs t_domain = TimeUs::Max();
+    bool have_domain = false;
+    for (int d = 0; d < config_.shards; ++d) {
+      TimeUs when;
+      uint64_t seq;
+      if (domain(d).PeekTop(&when, &seq) && (!have_domain || when < t_domain)) {
+        have_domain = true;
+        t_domain = when;
+      }
+    }
+    TimeUs t_control = TimeUs::Max();
+    {
+      TimeUs when;
+      uint64_t seq;
+      if (control_.PeekTop(&when, &seq)) {
+        t_control = when;
+      }
+    }
+
+    if (std::min(t_domain, t_control) > end) {
+      // Nothing left at or before `end` (matching RunUntil's inclusive
+      // semantics); just advance the clocks.
+      AdvanceAll(end);
+      return;
+    }
+
+    // Window end: earliest pending event plus the conservative lookahead,
+    // clipped by the next control event (audit sweeps read cross-domain
+    // state, so they run at serial instants) and the run end.
+    TimeUs window_end = end;
+    if (have_domain) {
+      window_end = std::min(window_end, t_domain + config_.lookahead);
+    }
+    window_end = std::min(window_end, t_control);
+
+    if (window_end <= fence_) {
+      // A control event is due right now, or the run ends at the fence with
+      // events at exactly that time: execute the instant serially.
+      DrainInstant(fence_);
+      continue;
+    }
+    if (!have_domain || t_domain >= window_end) {
+      // No domain event inside the window — nothing to parallelize.
+      AdvanceAll(window_end);
+      continue;
+    }
+    RunParallelWindow(window_end);
+  }
+}
+
+}  // namespace airfair

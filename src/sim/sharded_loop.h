@@ -1,0 +1,162 @@
+// Conservative parallel discrete-event simulation over per-domain EventLoops.
+//
+// The simulation is partitioned into domains (disjoint component sets — the
+// MAC/medium on domain 0, the server/wire side on domain 1, optionally
+// per-station host groups beyond that; see Testbed). Each domain owns a
+// plain EventLoop. The coordinator repeatedly:
+//
+//  1. picks a lookahead window [fence, end): end = min(earliest pending
+//     domain event + lookahead, next control-loop event, run end). The
+//     lookahead is the minimum cross-domain delay (wired-link one-way delay,
+//     host-bus delay), so no event executed inside the window can post into
+//     another domain below `end`;
+//  2. dispatches every domain's events with when < end in parallel — domain
+//     0 on the coordinator thread (keeping the thread-local trace buffer and
+//     check hooks exactly where the single-threaded loop had them), the rest
+//     on worker threads. Posts made inside the window get provisional
+//     sequence numbers and cross-domain posts are parked in per-domain
+//     mailboxes (shard_mailbox.h);
+//  3. after an atomic barrier, merges the per-domain dispatch logs in
+//     deterministic (time, seq) order, assigning the canonical sequence
+//     numbers the single-threaded loop would have assigned; then patches the
+//     provisional seqs left in the heaps, and only after that delivers the
+//     mailboxed cross-domain events — injections must never compare against
+//     a provisional seq, or same-instant events merge in the wrong order.
+//
+// Events at a control-event time or at the run end are executed serially on
+// the coordinator across all domains in global (time, seq) order ("serial
+// instants"), because control events (audit sweeps, the conservation ledger)
+// read cross-domain state.
+//
+// Determinism: every event ends up with the same canonical (time, seq) as in
+// the single-threaded run, and events only dispatch in canonical order, so
+// results are bit-identical (enforced by tests/sim_sharded_loop_test.cc).
+//
+// Thread model: worker threads touch only their own domain's EventLoop and
+// window state between the generation_ release-store and their done-flag
+// release-store; the coordinator reads them only after the acquire-load
+// barrier. There are no locks on this path — the three atomics below are the
+// entire synchronization surface.
+
+#ifndef AIRFAIR_SRC_SIM_SHARDED_LOOP_H_
+#define AIRFAIR_SRC_SIM_SHARDED_LOOP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/shard_mailbox.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/time.h"
+
+namespace airfair {
+
+class ShardedEventLoop {
+ public:
+  struct Config {
+    int shards = 2;  // Domain count, in [2, kMaxShardDomains].
+    // Conservative lookahead: the minimum delay any cross-domain event
+    // travels. Must be > 0.
+    TimeUs lookahead = TimeUs::FromMicroseconds(100);
+    size_t mailbox_capacity = 1 << 12;
+  };
+
+  // `domain0` (the primary loop, owned by Simulation) becomes domain 0 and
+  // keeps running on the coordinating thread; shards-1 worker threads are
+  // spawned for the remaining domains. All loops are switched to a shared
+  // canonical sequence counter, so `domain0` must not have pending events.
+  ShardedEventLoop(EventLoop* domain0, const Config& config);
+  ~ShardedEventLoop();
+
+  ShardedEventLoop(const ShardedEventLoop&) = delete;
+  ShardedEventLoop& operator=(const ShardedEventLoop&) = delete;
+
+  int shards() const { return config_.shards; }
+  TimeUs lookahead() const { return config_.lookahead; }
+
+  EventLoop& domain(int d) {
+    return d == 0 ? *domain0_ : *extra_loops_[static_cast<size_t>(d) - 1];
+  }
+  // Control loop: timers that must observe cross-domain state (audit sweeps)
+  // live here and always run serially on the coordinator.
+  EventLoop& control() { return control_; }
+
+  // The calling context's clock: the executing domain's loop inside events,
+  // the global fence between runs.
+  TimeUs ContextNow() const;
+
+  // Posts an event into `target`'s queue at absolute time `when`. Inside a
+  // lookahead window this parks the event in the posting domain's mailbox
+  // (and `when` must be at or beyond the window horizon — the conservative
+  // lookahead contract, AF_DCHECK-enforced); between windows it lands
+  // directly with a canonical seq.
+  void PostCrossAt(int target, TimeUs when, EventFn fn);
+
+  // Runs all domains to `end` (inclusive, matching EventLoop::RunUntil).
+  void RunUntil(TimeUs end);
+
+  // Observability for tests and benches.
+  int64_t windows_run() const { return windows_run_; }
+  int64_t serial_events() const { return serial_events_; }
+  int64_t cross_events() const { return cross_events_; }
+
+ private:
+  void WorkerMain(int d);
+  // Runs domain d's window [*, window_end_) on the calling thread.
+  void RunDomainWindow(int d);
+  // One parallel window ending at `end`: fan out, barrier, merge, advance.
+  void RunParallelWindow(TimeUs end);
+  // Replays the per-domain dispatch logs in (time, seq) order assigning
+  // canonical seqs, patches the provisional seqs left in the heaps, then
+  // delivers mailboxed cross-domain events (strictly in that order: an
+  // injection must only ever compare against final canonical seqs).
+  void MergeWindow();
+  // Serially executes every event at exactly `t` across all domains and the
+  // control loop, in global (time, seq) order.
+  void DrainInstant(TimeUs t);
+  void AdvanceAll(TimeUs t);
+
+  Config config_;
+  EventLoop* domain0_;
+  std::vector<std::unique_ptr<EventLoop>> extra_loops_;
+  EventLoop control_;
+
+  // Shared canonical sequence counter (starts at 1 so 0 can mean
+  // "unassigned" in ShardPostRecord). Only touched by the thread currently
+  // executing events with canonical numbering — never inside windows.
+  uint64_t next_canonical_ = 1;
+
+  TimeUs fence_ = TimeUs::Zero();
+  // Published by the coordinator before the generation_ release-store; read
+  // by workers after their acquire-load. Plain field by design.
+  TimeUs window_end_ = TimeUs::Zero();
+
+  ShardWindowState states_[kMaxShardDomains];
+  std::vector<ShardMailbox> mailboxes_;  // One per domain, sized in the ctor.
+
+  // Barrier: coordinator bumps generation_ (release) to start a window;
+  // worker d stores the generation into done_[d].gen (release) when its
+  // window completes; coordinator spins (acquire) until all match. These
+  // atomics ARE the lock — every other cross-thread field is ordered by
+  // this release/acquire pair.
+  std::atomic<uint64_t> generation_ AF_ATOMIC{0};  // Barrier, see above.
+  std::atomic<bool> stop_ AF_ATOMIC{false};        // Set once at teardown.
+  struct alignas(64) DoneFlag {
+    std::atomic<uint64_t> gen AF_ATOMIC{0};  // Barrier done-flag.
+  };
+  DoneFlag done_[kMaxShardDomains];
+
+  std::vector<std::thread> workers_;
+
+  int64_t windows_run_ = 0;
+  int64_t serial_events_ = 0;
+  int64_t cross_events_ = 0;
+};
+
+}  // namespace airfair
+
+#endif  // AIRFAIR_SRC_SIM_SHARDED_LOOP_H_

@@ -51,7 +51,14 @@
 //                       event-loop-domain; thread-entry TUs (std::thread
 //                       spawners, the parallel runner) may not name them
 //                       except via tools/analyze/domain_gateways.txt, and
-//                       domain TUs may not spawn threads
+//                       domain TUs may not spawn threads. TUs declaring a
+//                       whitelisted gateway type are the boundary itself
+//                       and exempt in both directions
+//   shard-gateway-discipline
+//                       component TUs in src/{core,mac,aqm,net} may not
+//                       name shard machinery types (*Shard* types declared
+//                       under src/sim); cross-domain work goes through
+//                       Simulation::PostCross* — the mailbox gateway
 //   lock-order          RAII lock acquisitions must nest in the order
 //                       declared in tools/analyze/lock_order.txt
 //                       (outermost first); re-acquiring a held lock is
