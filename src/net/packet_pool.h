@@ -39,6 +39,7 @@
 
 #include "src/net/packet.h"
 #include "src/sim/shard_mailbox.h"
+#include "src/util/attributes.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -63,8 +64,9 @@ class PacketPool {
 
   // Returns a freshly value-initialised packet owned by this pool. Reuses a
   // recycled packet from the calling domain's free list when available;
-  // grows by one chunk otherwise.
-  PacketPtr Allocate();
+  // grows by one chunk otherwise. AF_NODISCARD: a dropped PacketPtr bounces
+  // straight back into the free list.
+  AF_NODISCARD PacketPtr Allocate();
 
   // Called by PacketDeleter. Not for direct use. Returns the packet to the
   // calling domain's free list.

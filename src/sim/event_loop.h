@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/attributes.h"
 #include "src/util/function_ref.h"
 #include "src/util/inline_function.h"
 #include "src/util/time.h"
@@ -89,11 +90,12 @@ class EventLoop {
 
   // Schedules `fn` to run at absolute time `when` (>= now) and returns a
   // cancellation handle. The handle's shared token comes from a free list,
-  // so steady-state use allocates nothing.
-  EventHandle ScheduleAt(TimeUs when, EventFn fn);
+  // so steady-state use allocates nothing. AF_NODISCARD: dropping the
+  // handle makes the event uncancellable — use PostAt for that.
+  AF_NODISCARD EventHandle ScheduleAt(TimeUs when, EventFn fn);
 
   // Schedules `fn` to run `delay` from now.
-  EventHandle ScheduleAfter(TimeUs delay, EventFn fn) {
+  AF_NODISCARD EventHandle ScheduleAfter(TimeUs delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 

@@ -23,6 +23,7 @@
 #include "src/sim/event_loop.h"
 #include "src/sim/shard_mailbox.h"
 #include "src/sim/sharded_loop.h"
+#include "src/util/attributes.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
@@ -72,10 +73,10 @@ class Simulation {
   // time; between runs, the global fence.
   TimeUs now() const { return sharded_ ? sharded_->ContextNow() : loop_.now(); }
 
-  EventHandle At(TimeUs when, EventFn fn) {
+  AF_NODISCARD EventHandle At(TimeUs when, EventFn fn) {
     return context_loop().ScheduleAt(when, std::move(fn));
   }
-  EventHandle After(TimeUs delay, EventFn fn) {
+  AF_NODISCARD EventHandle After(TimeUs delay, EventFn fn) {
     return context_loop().ScheduleAfter(delay, std::move(fn));
   }
 

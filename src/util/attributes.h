@@ -1,0 +1,17 @@
+// Portable spelling of compiler attributes used across the tree.
+//
+// AF_NODISCARD marks functions whose return value *is* the point of calling
+// them — a dropped EventHandle silently degrades a cancellable timer into a
+// detached post (EventHandle destruction does not cancel), and a dropped
+// PacketPtr returns a packet to the pool the instant it was allocated. The
+// macro expands to [[nodiscard]], so the compiler flags discards in every
+// build; the lint engine's unused-result rule mirrors the check offline
+// (tools/analyze/lint.h) so it lands in CI annotations with the other
+// project rules and supports `airfair-lint: allow(...)` suppressions.
+
+#ifndef AIRFAIR_SRC_UTIL_ATTRIBUTES_H_
+#define AIRFAIR_SRC_UTIL_ATTRIBUTES_H_
+
+#define AF_NODISCARD [[nodiscard]]
+
+#endif  // AIRFAIR_SRC_UTIL_ATTRIBUTES_H_

@@ -142,7 +142,7 @@ TEST(Auditor, FatalModeFailsACheckOnViolation) {
 TEST(Auditor, WatchEventLoopPassesOnAHealthyLoop) {
   Simulation sim;
   for (int i = 0; i < 20; ++i) {
-    sim.After(TimeUs(100 * (i + 1)), [] {});
+    sim.PostAfter(TimeUs(100 * (i + 1)), [] {});
   }
   sim.RunFor(550_us);
 
@@ -282,7 +282,7 @@ TEST(Check, ComparisonMacrosIncludeBothValues) {
 
 TEST(Check, TimeProviderStampsFailures) {
   Simulation sim;
-  sim.After(1234_us, [] {});
+  sim.PostAfter(1234_us, [] {});
   sim.RunFor(2000_us);
   SetCheckTimeProvider([&sim] { return sim.now(); });
   std::string message;

@@ -14,9 +14,9 @@ using namespace time_literals;
 TEST(EventLoop, RunsEventsInTimeOrder) {
   EventLoop loop;
   std::vector<int> order;
-  loop.ScheduleAt(30_us, [&] { order.push_back(3); });
-  loop.ScheduleAt(10_us, [&] { order.push_back(1); });
-  loop.ScheduleAt(20_us, [&] { order.push_back(2); });
+  (void)loop.ScheduleAt(30_us, [&] { order.push_back(3); });
+  (void)loop.ScheduleAt(10_us, [&] { order.push_back(1); });
+  (void)loop.ScheduleAt(20_us, [&] { order.push_back(2); });
   loop.RunUntil(100_us);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(loop.now(), 100_us);
@@ -26,7 +26,7 @@ TEST(EventLoop, SameTimeEventsRunInScheduleOrder) {
   EventLoop loop;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    loop.ScheduleAt(5_us, [&order, i] { order.push_back(i); });
+    (void)loop.ScheduleAt(5_us, [&order, i] { order.push_back(i); });
   }
   loop.RunUntil(10_us);
   for (int i = 0; i < 10; ++i) {
@@ -37,7 +37,7 @@ TEST(EventLoop, SameTimeEventsRunInScheduleOrder) {
 TEST(EventLoop, ClockAdvancesToEventTime) {
   EventLoop loop;
   TimeUs seen;
-  loop.ScheduleAt(42_us, [&] { seen = loop.now(); });
+  (void)loop.ScheduleAt(42_us, [&] { seen = loop.now(); });
   loop.RunUntil(100_us);
   EXPECT_EQ(seen, 42_us);
 }
@@ -45,7 +45,7 @@ TEST(EventLoop, ClockAdvancesToEventTime) {
 TEST(EventLoop, EventsBeyondEndStayPending) {
   EventLoop loop;
   bool ran = false;
-  loop.ScheduleAt(200_us, [&] { ran = true; });
+  (void)loop.ScheduleAt(200_us, [&] { ran = true; });
   loop.RunUntil(100_us);
   EXPECT_FALSE(ran);
   EXPECT_EQ(loop.pending_events(), 1u);
@@ -78,10 +78,10 @@ TEST(EventLoop, EventsCanScheduleEvents) {
   std::function<void()> tick = [&] {
     times.push_back(loop.now().us());
     if (times.size() < 3) {
-      loop.ScheduleAfter(10_us, tick);
+      (void)loop.ScheduleAfter(10_us, tick);
     }
   };
-  loop.ScheduleAt(0_us, tick);
+  (void)loop.ScheduleAt(0_us, tick);
   loop.RunUntil(1_ms);
   EXPECT_EQ(times, (std::vector<int64_t>{0, 10, 20}));
 }
@@ -89,8 +89,8 @@ TEST(EventLoop, EventsCanScheduleEvents) {
 TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
   EventLoop loop;
   TimeUs fired;
-  loop.ScheduleAt(50_us, [&] {
-    loop.ScheduleAfter(25_us, [&] { fired = loop.now(); });
+  (void)loop.ScheduleAt(50_us, [&] {
+    (void)loop.ScheduleAfter(25_us, [&] { fired = loop.now(); });
   });
   loop.RunUntil(1_ms);
   EXPECT_EQ(fired, 75_us);
@@ -99,8 +99,8 @@ TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
 TEST(EventLoop, RunOneExecutesSingleEvent) {
   EventLoop loop;
   int count = 0;
-  loop.ScheduleAt(1_us, [&] { ++count; });
-  loop.ScheduleAt(2_us, [&] { ++count; });
+  (void)loop.ScheduleAt(1_us, [&] { ++count; });
+  (void)loop.ScheduleAt(2_us, [&] { ++count; });
   EXPECT_TRUE(loop.RunOne());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(loop.RunOne());
@@ -112,7 +112,7 @@ TEST(EventLoop, RunOneSkipsCancelled) {
   EventLoop loop;
   bool ran = false;
   EventHandle h = loop.ScheduleAt(1_us, [] {});
-  loop.ScheduleAt(2_us, [&] { ran = true; });
+  (void)loop.ScheduleAt(2_us, [&] { ran = true; });
   h.Cancel();
   EXPECT_TRUE(loop.RunOne());
   EXPECT_TRUE(ran);

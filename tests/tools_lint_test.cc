@@ -712,6 +712,232 @@ TEST(LintRule, LockOrderSuppressed) {
 }
 
 // ---------------------------------------------------------------------------
+// use-after-move (flow-sensitive)
+
+TEST(LintRule, UseAfterMoveFlaggedAcrossBranch) {
+  TempRepo repo;
+  repo.WriteFile("src/util/m.cc",
+                 "#include <memory>\n"
+                 "void F(bool c) {\n"
+                 "  std::unique_ptr<int> p = Make();\n"
+                 "  if (c) {\n"
+                 "    Consume(std::move(p));\n"
+                 "  }\n"
+                 "  Use(p.get());\n"
+                 "}\n");
+  const auto findings = For(repo.Run(), "use-after-move");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/m.cc");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("`p`"), std::string::npos);
+}
+
+TEST(LintRule, UseAfterMoveRevivalsNullChecksAndAllowAreClean) {
+  TempRepo repo;
+  // Reassignment on the moving path revives the name; `!p` null checks are
+  // sanctioned uses of the guaranteed-null moved-from pointer.
+  repo.WriteFile("src/util/m.cc",
+                 "#include <memory>\n"
+                 "void F(bool c) {\n"
+                 "  std::unique_ptr<int> p = Make();\n"
+                 "  if (c) {\n"
+                 "    Consume(std::move(p));\n"
+                 "    p = Make();\n"
+                 "  }\n"
+                 "  Use(p.get());\n"
+                 "}\n"
+                 "void G(PacketPtr q) {\n"
+                 "  Deliver(std::move(q));\n"
+                 "  if (!q) {\n"
+                 "    return;\n"
+                 "  }\n"
+                 "}\n"
+                 "void H(PacketPtr r) {\n"
+                 "  Deliver(std::move(r));\n"
+                 "  // airfair-lint: allow(use-after-move): fixture\n"
+                 "  Touch(r);\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "use-after-move").empty());
+}
+
+TEST(LintRule, UseAfterMoveOnlyFlagsMovedPathsNotDeadCode) {
+  TempRepo repo;
+  // The move and the use sit on exclusive branches: no path moves then
+  // uses, so a path-sensitive analysis must stay quiet.
+  repo.WriteFile("src/util/m.cc",
+                 "void F(bool c, EventFn fn) {\n"
+                 "  if (c) {\n"
+                 "    Run(std::move(fn));\n"
+                 "  } else {\n"
+                 "    Inspect(fn);\n"
+                 "  }\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "use-after-move").empty());
+}
+
+// ---------------------------------------------------------------------------
+// guarded-field-path (flow-sensitive)
+
+TEST(LintRule, GuardedFieldPathFlaggedOutsideLockScope) {
+  TempRepo repo;
+  repo.WriteFile(
+      "src/util/g.h",
+      WithGuard("src/util/g.h",
+                "#include \"src/util/mutex.h\"\n"
+                "#include \"src/util/thread_annotations.h\"\n"
+                "class Counter {\n"
+                " public:\n"
+                "  void Bump() {\n"
+                "    ++x_;\n"
+                "  }\n"
+                "  void Scoped() {\n"
+                "    {\n"
+                "      MutexLock lock(&mu_);\n"
+                "      ++x_;\n"
+                "    }\n"
+                "    ++x_;\n"
+                "  }\n"
+                " private:\n"
+                "  Mutex mu_;\n"
+                "  int x_ AF_GUARDED_BY(mu_) = 0;\n"
+                "};\n"));
+  const auto findings = For(repo.Run(), "guarded-field-path");
+  ASSERT_EQ(findings.size(), 2u);
+  // Bump touches x_ with no lock at all; Scoped touches it again after the
+  // RAII scope closed. The locked touch inside the scope is clean.
+  EXPECT_NE(findings[0].message.find("`x_`"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(LintRule, GuardedFieldPathRequiresCtorsAndAllowAreClean) {
+  TempRepo repo;
+  repo.WriteFile(
+      "src/util/g.h",
+      WithGuard("src/util/g.h",
+                "#include \"src/util/mutex.h\"\n"
+                "#include \"src/util/thread_annotations.h\"\n"
+                "class Counter {\n"
+                " public:\n"
+                "  Counter() { x_ = 1; }\n"  // Ctors run single-owner: exempt.
+                "  ~Counter() { x_ = 0; }\n"
+                "  void Locked() {\n"
+                "    MutexLock lock(&mu_);\n"
+                "    ++x_;\n"
+                "  }\n"
+                "  int Held() const AF_REQUIRES(mu_) { return x_; }\n"
+                "  void Suppressed() {\n"
+                "    // airfair-lint: allow(guarded-field-path): fixture\n"
+                "    ++x_;\n"
+                "  }\n"
+                " private:\n"
+                "  Mutex mu_;\n"
+                "  int x_ AF_GUARDED_BY(mu_) = 0;\n"
+                "};\n"));
+  EXPECT_TRUE(For(repo.Run(), "guarded-field-path").empty());
+}
+
+// ---------------------------------------------------------------------------
+// callback-lifetime (flow-sensitive)
+
+TEST(LintRule, CallbackLifetimeFlagsThisCaptureOnDetachedPost) {
+  TempRepo repo;
+  repo.WriteFile("src/sim/cb.cc",
+                 "void Component::Arm(EventLoop* loop, TimeUs t) {\n"
+                 "  loop->PostAfter(t, [this] { Fire(); });\n"
+                 "}\n");
+  const auto findings = For(repo.Run(), "callback-lifetime");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("detached"), std::string::npos);
+}
+
+TEST(LintRule, CallbackLifetimeFlagsHandleDroppedOnSomePath) {
+  TempRepo repo;
+  repo.WriteFile("src/sim/cb.cc",
+                 "void Component::Arm(EventLoop* loop, TimeUs t, bool keep) {\n"
+                 "  EventHandle h = loop->ScheduleAfter(t, [this] { Fire(); });\n"
+                 "  if (keep) {\n"
+                 "    handle_ = std::move(h);\n"
+                 "  }\n"
+                 "}\n");
+  const auto findings = For(repo.Run(), "callback-lifetime");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);  // Reported at the schedule site.
+  EXPECT_NE(findings[0].message.find("`h`"), std::string::npos);
+}
+
+TEST(LintRule, CallbackLifetimeSafeCapturesRetainedHandlesAndAllowAreClean) {
+  TempRepo repo;
+  repo.WriteFile("src/sim/cb.cc",
+                 "void Component::Arm(EventLoop* loop, TimeUs t, int seq) {\n"
+                 "  loop->PostAfter(t, [seq] { Log(seq); });\n"  // Copies only.
+                 "  handle_ = loop->ScheduleAfter(t, [this] { Fire(); });\n"
+                 "  EventHandle h = loop->ScheduleAfter(t, [this] { Fire(); });\n"
+                 "  retained_.push_back(std::move(h));\n"  // Every path retains.
+                 "  // airfair-lint: allow(callback-lifetime): fixture\n"
+                 "  loop->PostAfter(t, [this] { Fire(); });\n"
+                 "}\n"
+                 "EventHandle Component::Make(EventLoop* loop, TimeUs t) {\n"
+                 "  return loop->ScheduleAfter(t, [this] { Fire(); });\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "callback-lifetime").empty());
+}
+
+TEST(LintRule, CallbackLifetimeOnlyAppliesToCallbackDirs) {
+  TempRepo repo;
+  // tools/ is outside the event-loop component dirs.
+  repo.WriteFile("tools/t.cc",
+                 "void Arm(EventLoop* loop, TimeUs t) {\n"
+                 "  loop->PostAfter(t, [this] { Fire(); });\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "callback-lifetime").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unused-result (flow-sensitive, driven by AF_NODISCARD declarations)
+
+TEST(LintRule, UnusedResultFlagsDiscardedNodiscardCall) {
+  TempRepo repo;
+  repo.WriteFile("src/util/pool.h",
+                 WithGuard("src/util/pool.h",
+                           "#include \"src/util/attributes.h\"\n"
+                           "class Pool {\n"
+                           " public:\n"
+                           "  AF_NODISCARD int Allocate();\n"
+                           "};\n"));
+  repo.WriteFile("src/util/use.cc",
+                 "void F(Pool& pool) {\n"
+                 "  pool.Allocate();\n"
+                 "}\n");
+  const auto findings = For(repo.Run(), "unused-result");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/use.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("`Allocate`"), std::string::npos);
+}
+
+TEST(LintRule, UnusedResultConsumedCastAndAllowAreClean) {
+  TempRepo repo;
+  repo.WriteFile("src/util/pool.h",
+                 WithGuard("src/util/pool.h",
+                           "#include \"src/util/attributes.h\"\n"
+                           "class Pool {\n"
+                           " public:\n"
+                           "  AF_NODISCARD int Allocate();\n"
+                           "};\n"));
+  repo.WriteFile("src/util/use.cc",
+                 "int F(Pool& pool) {\n"
+                 "  int kept = pool.Allocate();\n"
+                 "  (void)pool.Allocate();\n"  // The sanctioned explicit discard.
+                 "  Consume(pool.Allocate());\n"
+                 "  // airfair-lint: allow(unused-result): fixture\n"
+                 "  pool.Allocate();\n"
+                 "  return pool.Allocate() + kept;\n"
+                 "}\n");
+  EXPECT_TRUE(For(repo.Run(), "unused-result").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression mechanics and output plumbing.
 
 TEST(Suppressions, WrongRuleIdDoesNotSuppress) {
@@ -734,7 +960,7 @@ TEST(Suppressions, CommaListCoversMultipleRules) {
 
 TEST(Output, AllRulesAreDocumentedAndJsonIsWellFormed) {
   const auto rules = AllRules();
-  EXPECT_EQ(rules.size(), 18u);
+  EXPECT_EQ(rules.size(), 22u);
   for (const RuleInfo& rule : rules) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());

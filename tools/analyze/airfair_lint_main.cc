@@ -6,6 +6,7 @@
 //   inline annotations on the pull request.
 // Exit codes: 0 clean, 1 findings, 2 usage error.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -74,7 +75,11 @@ int main(int argc, char** argv) {
     options.roots = {"src", "bench", "tests", "tools"};
   }
 
+  const auto start = std::chrono::steady_clock::now();
   const airfair::analyze::LintResult result = airfair::analyze::RunLint(options);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
   if (json) {
     std::printf("%s\n", airfair::analyze::ResultToJson(result).c_str());
   } else if (github) {
@@ -87,15 +92,15 @@ int main(int argc, char** argv) {
                   GithubEscape(finding.rule, /*property=*/true).c_str(),
                   GithubEscape(finding.message, /*property=*/false).c_str());
     }
-    std::fprintf(stderr, "airfair_lint: %zu finding(s) in %d file(s)\n", result.findings.size(),
-                 result.files_scanned);
+    std::fprintf(stderr, "airfair_lint: %zu finding(s) in %d file(s) (%.0f ms)\n",
+                 result.findings.size(), result.files_scanned, wall_ms);
   } else {
     for (const auto& finding : result.findings) {
       std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line, finding.rule.c_str(),
                   finding.message.c_str());
     }
-    std::fprintf(stderr, "airfair_lint: %zu finding(s) in %d file(s)\n", result.findings.size(),
-                 result.files_scanned);
+    std::fprintf(stderr, "airfair_lint: %zu finding(s) in %d file(s) (%.0f ms)\n",
+                 result.findings.size(), result.files_scanned, wall_ms);
   }
   return result.findings.empty() ? 0 : 1;
 }

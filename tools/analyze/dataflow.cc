@@ -1,0 +1,98 @@
+#include "tools/analyze/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+namespace airfair {
+namespace analyze {
+
+bool JoinInto(VarState* into, const VarState& from, JoinKind join) {
+  bool changed = false;
+  if (join == JoinKind::kMay) {
+    // max, absent == 0: only keys present in `from` can raise `into`.
+    for (const auto& [var, value] : from) {
+      auto [it, inserted] = into->emplace(var, value);
+      if (inserted) {
+        changed = changed || value != 0;
+      } else if (value > it->second) {
+        it->second = value;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  // must: min, absent == 0 — a key missing on one side drags the other to 0.
+  for (auto& [var, value] : *into) {
+    const auto it = from.find(var);
+    const int incoming = it == from.end() ? 0 : it->second;
+    if (incoming < value) {
+      value = incoming;
+      changed = true;
+    }
+  }
+  // Keys only in `from` join with absent (0) in `into`: min is 0, and
+  // absent already means 0, so nothing to add.
+  return changed;
+}
+
+ForwardDataflow::ForwardDataflow(const FunctionCfg& cfg, JoinKind join, TransferFn transfer)
+    : cfg_(cfg), join_(join), transfer_(std::move(transfer)) {}
+
+void ForwardDataflow::Solve(const VarState& entry_state) {
+  in_states_.clear();
+  if (cfg_.blocks.empty()) return;
+  in_states_[cfg_.entry] = entry_state;
+  std::deque<int> worklist{cfg_.entry};
+  std::set<int> queued{cfg_.entry};
+  // Monotone transfers over a finite lattice converge well before this; the
+  // cap only guards a buggy non-monotone rule from spinning.
+  int budget = static_cast<int>(cfg_.blocks.size()) * 64 + 256;
+  while (!worklist.empty() && budget-- > 0) {
+    const int id = worklist.front();
+    worklist.pop_front();
+    queued.erase(id);
+    if (id < 0 || static_cast<size_t>(id) >= cfg_.blocks.size()) continue;
+    const CfgBlock& block = cfg_.blocks[static_cast<size_t>(id)];
+    VarState state = in_states_[id];
+    for (const CfgStmt& stmt : block.stmts) transfer_(stmt, &state);
+    for (const int succ : block.succs) {
+      const auto it = in_states_.find(succ);
+      bool changed;
+      if (it == in_states_.end()) {
+        in_states_[succ] = state;
+        changed = true;
+      } else {
+        changed = JoinInto(&it->second, state, join_);
+      }
+      if (changed && queued.insert(succ).second) worklist.push_back(succ);
+    }
+  }
+}
+
+void ForwardDataflow::Visit(const VisitFn& visit) const {
+  if (!visit) return;
+  for (const CfgBlock& block : cfg_.blocks) {
+    const auto it = in_states_.find(block.id);
+    if (it == in_states_.end()) continue;  // Unreachable: no findings.
+    VarState state = it->second;
+    for (const CfgStmt& stmt : block.stmts) {
+      visit(stmt, state);
+      transfer_(stmt, &state);
+    }
+  }
+}
+
+const VarState& ForwardDataflow::ExitState() const {
+  static const VarState kEmpty;
+  const auto it = in_states_.find(cfg_.exit);
+  return it == in_states_.end() ? kEmpty : it->second;
+}
+
+bool ForwardDataflow::ExitReached() const {
+  return in_states_.find(cfg_.exit) != in_states_.end();
+}
+
+}  // namespace analyze
+}  // namespace airfair

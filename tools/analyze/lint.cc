@@ -1,18 +1,24 @@
 #include "tools/analyze/lint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <tuple>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "tools/analyze/cfg.h"
+#include "tools/analyze/dataflow.h"
 #include "tools/analyze/symbol_index.h"
 
 namespace airfair {
@@ -235,6 +241,54 @@ bool InHotDir(const std::string& path) {
 
 bool InSrc(const std::string& path) { return StartsWith(path, "src/"); }
 
+// The dirs whose posted callbacks the callback-lifetime rule polices: the
+// hot event-loop dirs plus src/obs (trace exporters post flush events).
+bool InCallbackDirs(const std::string& path) {
+  return InHotDir(path) || StartsWith(path, "src/obs/");
+}
+
+bool IsIdentToken(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) != 0 || t[0] == '_');
+}
+
+// CfgStmt text back into its tokens (the CFG builder joins with single
+// spaces, so this is lossless).
+std::vector<std::string> SplitTokens(const std::string& text) {
+  std::vector<std::string> toks;
+  std::istringstream in(text);
+  std::string t;
+  while (in >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+bool Contains(const std::vector<std::string>& toks, const std::string& t) {
+  return std::find(toks.begin(), toks.end(), t) != toks.end();
+}
+
+// Runs fn(0..n-1) across a small thread pool. The lint tree is a few
+// hundred files; 8 threads is plenty and keeps the pool polite on shared
+// runners. (tools/ sits outside the domain-crossing rule's scope — the
+// simulator's single-threaded-domain discipline does not bind the linter.)
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t nthreads =
+      std::min(std::min(static_cast<size_t>(hw == 0 ? 4 : hw), static_cast<size_t>(8)), n);
+  if (nthreads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (size_t t = 0; t < nthreads; ++t) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
 const char* kFileScopeRules[] = {"header-guard", "include-self-first", "core-needs-test",
                                  "audit-registration"};
 
@@ -264,7 +318,14 @@ class Linter {
   LintResult Run() {
     CollectFiles();
     BuildIndex();
-    for (const FileData& file : files_) {
+    CollectNodiscardNames();
+    // Per-file stage, parallel across a small pool: each file's lexical
+    // rules plus the flow-sensitive CFG rules touch only that file's data
+    // (plus the read-only index built above); findings merge under a mutex
+    // and the final sort makes the output order deterministic regardless of
+    // scheduling. Cross-file rules stay serial below.
+    ParallelFor(files_.size(), [&](size_t i) {
+      const FileData& file = files_[i];
       LintHotConstructs(file);
       LintTraceMacroDiscipline(file);
       LintAfCheck(file);
@@ -272,7 +333,8 @@ class Linter {
       LintIwyu(file);
       LintHeaderGuard(file);
       LintUsingNamespace(file);
-    }
+      LintFlowRules(file);
+    });
     LintCoreNeedsTest();
     LintAuditRegistration();
     LintGuardedFieldDiscipline();
@@ -290,6 +352,7 @@ class Linter {
  private:
   void Report(const FileData& file, const std::string& rule, int line, std::string message) {
     if (Suppressed(file, rule, line)) return;
+    std::lock_guard<std::mutex> lock(findings_mutex_);
     result_.findings.push_back(LintFinding{rule, file.path, line, std::move(message)});
   }
 
@@ -324,9 +387,12 @@ class Linter {
     }
     std::sort(paths.begin(), paths.end());
     paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
-    for (const fs::path& p : paths) {
-      files_.push_back(LoadFile(p, fs::relative(p, root).generic_string()));
-    }
+    files_.resize(paths.size());
+    // Loading (read + strip + allow-parse) dominates small-tree runs;
+    // parallelise it by index so files_ keeps the sorted path order.
+    ParallelFor(paths.size(), [&](size_t i) {
+      files_[i] = LoadFile(paths[i], fs::relative(paths[i], root).generic_string());
+    });
   }
 
   // Effective includes of a .cc file: its own plus its paired header's (the
@@ -790,6 +856,7 @@ class Linter {
         if (!HasToken(code, sym.token)) continue;
         const int line = static_cast<int>(i) + 1;
         if (!Suppressed(file, "iwyu-lite", line)) {
+          std::lock_guard<std::mutex> lock(findings_mutex_);
           result_.findings.push_back(
               LintFinding{"iwyu-lite", file.path, line,
                           std::string(sym.token) + " used without <" + sym.header + ">"});
@@ -931,9 +998,431 @@ class Linter {
     }
   }
 
+  // -------------------------------------------------------------------------
+  // Flow-sensitive rules: per-function CFGs (tools/analyze/cfg.h) + forward
+  // dataflow (tools/analyze/dataflow.h). All four run per file, inside the
+  // parallel stage — they read only this file's CFGs and the shared
+  // read-only index.
+  // -------------------------------------------------------------------------
+
+  // Names of functions declared with AF_NODISCARD anywhere in the tree.
+  // Matching is by name (the engine has no overload resolution); the macro
+  // definition line itself starts with '#' and is skipped.
+  void CollectNodiscardNames() {
+    for (const FileData& file : files_) {
+      for (const std::string& code : file.code) {
+        const std::string trimmed = Trim(code);
+        if (!trimmed.empty() && trimmed[0] == '#') continue;
+        const size_t pos = FindToken(code, "AF_NODISCARD");
+        if (pos == std::string::npos) continue;
+        const size_t open = code.find('(', pos);
+        if (open == std::string::npos) continue;  // Name on the next line: skip.
+        size_t e = open;
+        while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0) --e;
+        size_t s = e;
+        while (s > 0 && IsIdentChar(code[s - 1])) --s;
+        if (s < e) nodiscard_names_.insert(code.substr(s, e - s));
+      }
+    }
+  }
+
+  void LintFlowRules(const FileData& file) {
+    const bool check_discard = !nodiscard_names_.empty();
+    const bool check_src = InSrc(file.path);
+    if (!check_discard && !check_src) return;
+    const std::vector<FunctionCfg> cfgs = BuildFileCfgs(file.code);
+    if (cfgs.empty()) return;
+
+    // Guarded fields whose declaring class lives in this file or its paired
+    // header/cc — the files whose functions can be their member functions.
+    std::map<std::string, std::string> guarded;   // field -> guard lock name
+    std::set<std::string> local_classes;          // ctor/dtor detection
+    if (check_src) {
+      const std::string paired = PairedHeader(file.path);
+      const auto applies = [&](const std::string& decl_file) {
+        return decl_file == file.path || (!paired.empty() && decl_file == paired) ||
+               PairedHeader(decl_file) == file.path;
+      };
+      for (const ClassSymbol& cls : index_.classes) {
+        bool local = false;
+        for (const FieldSymbol& f : cls.fields) {
+          if (!applies(f.file)) continue;
+          local = true;
+          if (!f.guard.empty()) guarded[f.name] = f.guard;
+        }
+        if (local || applies(cls.file)) local_classes.insert(cls.name);
+      }
+      for (const StaticSymbol& s : index_.statics) {
+        if (!s.guard.empty() && s.file == file.path) guarded[s.name] = s.guard;
+      }
+    }
+
+    for (const FunctionCfg& cfg : cfgs) {
+      CheckFunctionFlow(file, cfg, guarded, local_classes);
+    }
+  }
+
+  void CheckFunctionFlow(const FileData& file, const FunctionCfg& cfg,
+                         const std::map<std::string, std::string>& guarded,
+                         const std::set<std::string>& local_classes) {
+    if (!nodiscard_names_.empty()) CheckUnusedResult(file, cfg);
+    if (InSrc(file.path)) {
+      CheckUseAfterMove(file, cfg);
+      if (!guarded.empty()) CheckGuardedFieldPath(file, cfg, local_classes, guarded);
+    }
+    if (InCallbackDirs(file.path)) CheckCallbackLifetime(file, cfg);
+    for (const FunctionCfg& lambda : cfg.lambdas) {
+      CheckFunctionFlow(file, lambda, guarded, local_classes);
+    }
+  }
+
+  // --- unused-result ---
+  // A full-expression statement that is nothing but a call to an
+  // AF_NODISCARD function ("pool.Allocate();") discards the result. The
+  // compiler enforces the same via [[nodiscard]]; the lint rule mirrors it
+  // into CI annotations and honours allow() suppressions. `(void)` casts
+  // are the sanctioned explicit discard.
+  void CheckUnusedResult(const FileData& file, const FunctionCfg& cfg) {
+    for (const CfgBlock& block : cfg.blocks) {
+      for (const CfgStmt& stmt : block.stmts) {
+        if (stmt.is_return) continue;
+        std::vector<std::string> toks = SplitTokens(stmt.text);
+        size_t end = toks.size();
+        if (end > 0 && toks[end - 1] == ";") --end;
+        if (end < 3) continue;
+        if (toks[0] == "(" && toks[1] == "void" && toks[2] == ")") continue;
+        size_t open = std::string::npos;
+        for (size_t i = 0; i < end; ++i) {
+          if (toks[i] == "(") {
+            open = i;
+            break;
+          }
+        }
+        if (open == std::string::npos || open == 0) continue;
+        const std::string& name = toks[open - 1];
+        if (nodiscard_names_.count(name) == 0) continue;
+        // Everything before the name must be a bare receiver chain — any
+        // operator ('=', 'return', '<<') means the result is consumed.
+        bool chain = true;
+        for (size_t i = 0; i + 1 < open; ++i) {
+          const std::string& t = toks[i];
+          if (t == "." || t == "->" || t == "::" || IsIdentToken(t)) continue;
+          chain = false;
+          break;
+        }
+        if (!chain) continue;
+        // The call's ')' must end the statement; trailing '.'/'->' means
+        // the result is used.
+        int depth = 0;
+        size_t close = std::string::npos;
+        for (size_t i = open; i < end; ++i) {
+          if (toks[i] == "(") ++depth;
+          if (toks[i] == ")" && --depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        if (close != end - 1) continue;
+        Report(file, "unused-result", stmt.line,
+               "result of AF_NODISCARD function `" + name +
+                   "` is discarded; store it, cast to (void), or use the detached variant");
+      }
+    }
+  }
+
+  // --- use-after-move ---
+  // Tracks locals/parameters of the move-only hot-path types. std::move(v)
+  // sends v to the moved state; the may-join makes that sticky across any
+  // path reaching a later use. Reassignment, .reset() or a fresh
+  // declaration revives the name. Null checks of the (guaranteed-null)
+  // moved-from smart pointers are allowed uses.
+  static std::set<std::string> TrackedDecls(const std::vector<std::string>& toks) {
+    std::set<std::string> vars;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i];
+      size_t j = i + 1;
+      bool typed = false;
+      if (t == "PacketPtr" || t == "EventFn") {
+        typed = true;
+      } else if (t == "InlineFunction" || t == "unique_ptr") {
+        typed = true;
+        if (j < toks.size() && toks[j] == "<") {  // Skip template arguments.
+          int depth = 0;
+          while (j < toks.size()) {
+            if (toks[j] == "<") ++depth;
+            if (toks[j] == ">" && --depth == 0) {
+              ++j;
+              break;
+            }
+            if (toks[j] == ">>") {
+              depth -= 2;
+              if (depth <= 0) {
+                ++j;
+                break;
+              }
+            }
+            ++j;
+          }
+        }
+      }
+      if (!typed) continue;
+      while (j < toks.size() &&
+             (toks[j] == "&" || toks[j] == "&&" || toks[j] == "*" || toks[j] == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && IsIdentToken(toks[j])) vars.insert(toks[j]);
+    }
+    return vars;
+  }
+
+  void CheckUseAfterMove(const FileData& file, const FunctionCfg& cfg) {
+    std::set<std::string> tracked = TrackedDecls(SplitTokens(cfg.head));
+    for (const CfgBlock& block : cfg.blocks) {
+      for (const CfgStmt& stmt : block.stmts) {
+        const std::vector<std::string> toks = SplitTokens(stmt.text);
+        // for-headers declare loop-scoped names (range-for rebinds each
+        // iteration); not tracked — documented false negative.
+        if (!toks.empty() && toks[0] == "for") continue;
+        const std::set<std::string> decls = TrackedDecls(toks);
+        tracked.insert(decls.begin(), decls.end());
+      }
+    }
+    if (tracked.empty()) return;
+
+    const TransferFn transfer = [tracked](const CfgStmt& stmt, VarState* state) {
+      const std::vector<std::string> toks = SplitTokens(stmt.text);
+      // Revivals first, then moves: in `[p = std::move(p)] <lambda>` the
+      // init-capture's '=' binds a *new* name — the enclosing local ends
+      // the statement moved, not revived.
+      for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (tracked.count(toks[i]) == 0) continue;
+        if (toks[i + 1] == "=" ||
+            (toks[i + 1] == "." && i + 2 < toks.size() && toks[i + 2] == "reset")) {
+          (*state)[toks[i]] = 0;
+        }
+      }
+      if (!toks.empty() && toks[0] != "for") {
+        for (const std::string& v : TrackedDecls(toks)) (*state)[v] = 0;
+      }
+      for (size_t i = 0; i + 5 < toks.size(); ++i) {
+        if (toks[i] == "std" && toks[i + 1] == "::" && toks[i + 2] == "move" &&
+            toks[i + 3] == "(" && toks[i + 5] == ")" && tracked.count(toks[i + 4]) > 0) {
+          (*state)[toks[i + 4]] = 1;
+        }
+      }
+    };
+    ForwardDataflow flow(cfg, JoinKind::kMay, transfer);
+    flow.Solve(VarState{});
+    flow.Visit([&](const CfgStmt& stmt, const VarState& before) {
+      const std::vector<std::string> toks = SplitTokens(stmt.text);
+      const std::set<std::string> decls =
+          (!toks.empty() && toks[0] == "for") ? std::set<std::string>{} : TrackedDecls(toks);
+      for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string& v = toks[i];
+        if (tracked.count(v) == 0) continue;
+        const auto it = before.find(v);
+        if (it == before.end() || it->second == 0) continue;
+        if (decls.count(v) > 0) continue;  // Shadowing re-declaration.
+        const std::string prev = i > 0 ? toks[i - 1] : "";
+        const std::string next = i + 1 < toks.size() ? toks[i + 1] : "";
+        if (next == "=") continue;  // Reassignment target.
+        if (next == "." && i + 2 < toks.size() && toks[i + 2] == "reset") continue;
+        if (prev == "!" || prev == "==" || prev == "!=" || next == "==" || next == "!=") {
+          continue;  // Null/boolean checks: moved-from pointers are null.
+        }
+        const std::string& head = toks[0];
+        if ((head == "if" || head == "while" || head == "do-while") &&
+            (prev == "(" || prev == "&&" || prev == "||") &&
+            (next == ")" || next == "&&" || next == "||")) {
+          continue;  // Boolean test in a condition.
+        }
+        Report(file, "use-after-move", stmt.line,
+               "`" + v +
+                   "` may have been moved-from on a path reaching this use; reassign or "
+                   ".reset() it first (moved-from hot-path handles are null/empty)");
+        break;  // One finding per statement.
+      }
+    });
+  }
+
+  // --- guarded-field-path ---
+  // An AF_GUARDED_BY field may only be touched where its guard's RAII scope
+  // encloses the statement (cfg.h records the lexical held set per
+  // statement — with RAII-only locking that is exactly path-aware reach) or
+  // the function declares AF_REQUIRES(guard). Constructors/destructors run
+  // single-owner and are exempt, as is AF_NO_THREAD_SAFETY_ANALYSIS.
+  void CheckGuardedFieldPath(const FileData& file, const FunctionCfg& cfg,
+                             const std::set<std::string>& local_classes,
+                             const std::map<std::string, std::string>& guarded) {
+    if (HasToken(cfg.head, "AF_NO_THREAD_SAFETY_ANALYSIS")) return;
+    if (local_classes.count(cfg.name) > 0) return;         // Constructor.
+    if (cfg.head.find('~') != std::string::npos) return;   // Destructor.
+    std::set<std::string> entry_held;
+    const size_t req = FindToken(cfg.head, "AF_REQUIRES");
+    if (req != std::string::npos) {
+      const size_t open = cfg.head.find('(', req);
+      const size_t close = open == std::string::npos ? std::string::npos
+                                                     : cfg.head.find(')', open);
+      if (close != std::string::npos) {
+        std::string name;
+        for (size_t i = open + 1; i < close;) {
+          if (IsIdentChar(cfg.head[i])) {
+            const size_t start = i;
+            while (i < close && IsIdentChar(cfg.head[i])) ++i;
+            entry_held.insert(cfg.head.substr(start, i - start));
+            continue;
+          }
+          ++i;
+        }
+      }
+    }
+    for (const CfgBlock& block : cfg.blocks) {
+      for (const CfgStmt& stmt : block.stmts) {
+        const std::vector<std::string> toks = SplitTokens(stmt.text);
+        for (size_t i = 0; i < toks.size(); ++i) {
+          const auto it = guarded.find(toks[i]);
+          if (it == guarded.end()) continue;
+          // `other.field_` touches another instance; only `field_` and
+          // `this->field_` are this object's state.
+          if (i >= 2 && (toks[i - 1] == "." || toks[i - 1] == "->") && toks[i - 2] != "this") {
+            continue;
+          }
+          const std::string& guard = it->second;
+          const bool held =
+              entry_held.count(guard) > 0 ||
+              std::find(stmt.held_locks.begin(), stmt.held_locks.end(), guard) !=
+                  stmt.held_locks.end();
+          if (held) continue;
+          Report(file, "guarded-field-path", stmt.line,
+                 "`" + toks[i] + "` is AF_GUARDED_BY(" + guard +
+                     ") but no enclosing MutexLock scope or AF_REQUIRES holds it on this path");
+          break;  // One finding per statement.
+        }
+      }
+    }
+  }
+
+  // --- callback-lifetime ---
+  // Detached posts (PostAt/PostAfter/PostCross*) cannot be cancelled, so a
+  // lambda that captures `this` (or by-reference state) posted detached
+  // outlives no-one's control: if the component dies before the event
+  // fires, the callback runs on a dangling pointer. Such closures must go
+  // through the handle-returning Schedule*/At/After and keep the handle —
+  // and a handle bound to a local must actually be retained (stored,
+  // returned or passed on) on every path, or it silently degrades back to
+  // a detached post (EventHandle destruction does not cancel).
+  static bool UnsafeCaptures(const std::string& captures) {
+    const std::vector<std::string> toks = SplitTokens(captures);
+    size_t i = 0;
+    while (i < toks.size()) {
+      // One top-level capture entry: up to ',' at depth 0.
+      std::vector<std::string> entry;
+      int depth = 0;
+      while (i < toks.size()) {
+        const std::string& t = toks[i];
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        if (t == "," && depth == 0) {
+          ++i;
+          break;
+        }
+        entry.push_back(t);
+        ++i;
+      }
+      if (entry.empty()) continue;
+      if (entry[0] == "&" || entry[0] == "=") return true;  // By-ref / default.
+      if (entry[0] == "this") return true;
+      // `name = expr` init-captures are safe copies unless the expression
+      // smuggles `this` in ("self = this"). `*this` is a full copy: safe.
+      if (entry[0] != "*" && Contains(entry, "this")) return true;
+    }
+    return false;
+  }
+
+  static std::vector<size_t> LambdaRefs(const std::vector<std::string>& toks) {
+    std::vector<size_t> refs;
+    for (const std::string& t : toks) {
+      if (t.size() > 9 && t.compare(0, 8, "<lambda#") == 0) {
+        refs.push_back(static_cast<size_t>(std::atoi(t.c_str() + 8)));
+      }
+    }
+    return refs;
+  }
+
+  void CheckCallbackLifetime(const FileData& file, const FunctionCfg& cfg) {
+    static const char* kDetached[] = {"PostAt", "PostAfter", "PostCrossAt", "PostCrossAfter"};
+    static const char* kHandled[] = {"ScheduleAt", "ScheduleAfter", "At", "After"};
+    std::map<std::string, int> sched_line;  // local handle var -> schedule stmt line
+    for (const CfgBlock& block : cfg.blocks) {
+      for (const CfgStmt& stmt : block.stmts) {
+        const std::vector<std::string> toks = SplitTokens(stmt.text);
+        const std::vector<size_t> refs = LambdaRefs(toks);
+        if (refs.empty()) continue;
+        bool unsafe = false;
+        for (const size_t k : refs) {
+          if (k < cfg.lambdas.size() && UnsafeCaptures(cfg.lambdas[k].captures)) unsafe = true;
+        }
+        if (!unsafe) continue;
+        bool detached = false;
+        for (const char* post : kDetached) detached = detached || Contains(toks, post);
+        if (detached) {
+          Report(file, "callback-lifetime", stmt.line,
+                 "lambda capturing `this`/by-reference state posted detached (Post*/"
+                 "PostCross*) — it cannot be cancelled if the captured object dies first; "
+                 "use the handle-returning Schedule*/At/After and retain the EventHandle, "
+                 "or suppress with a reason why the target provably outlives the loop");
+          continue;
+        }
+        bool handled = false;
+        for (const char* sched : kHandled) handled = handled || Contains(toks, sched);
+        if (!handled) continue;
+        // Where does the handle go? Member-ish targets and returns retain
+        // it; a bare local needs the every-path dataflow check below.
+        // (A fully discarded result is unused-result's finding, not ours.)
+        size_t assign = std::string::npos;
+        for (size_t i = 1; i < toks.size(); ++i) {
+          if (toks[i] == "=") {
+            assign = i;
+            break;
+          }
+        }
+        if (assign == std::string::npos || assign == 0) continue;
+        const std::string& lhs = toks[assign - 1];
+        if (!IsIdentToken(lhs)) continue;
+        const bool member_target =
+            lhs.back() == '_' ||
+            (assign >= 2 && (toks[assign - 2] == "." || toks[assign - 2] == "->"));
+        if (member_target || stmt.is_return) continue;
+        sched_line[lhs] = stmt.line;
+      }
+    }
+    if (sched_line.empty()) return;
+    const TransferFn transfer = [sched_line](const CfgStmt& stmt, VarState* state) {
+      const std::vector<std::string> toks = SplitTokens(stmt.text);
+      for (const auto& [var, line] : sched_line) {
+        if (!Contains(toks, var)) continue;
+        (*state)[var] = stmt.line == line ? 1 : 0;  // 1 = not yet retained.
+      }
+    };
+    ForwardDataflow flow(cfg, JoinKind::kMay, transfer);
+    flow.Solve(VarState{});
+    const VarState& at_exit = flow.ExitState();
+    for (const auto& [var, line] : sched_line) {
+      const auto it = at_exit.find(var);
+      if (it == at_exit.end() || it->second == 0) continue;
+      Report(file, "callback-lifetime", line,
+             "EventHandle `" + var +
+                 "` for a this-capturing callback is dropped on some path before being "
+                 "stored, returned or passed on — destruction does not cancel, so the "
+                 "callback degrades to an uncancellable detached post");
+    }
+  }
+
   LintOptions options_;
   std::vector<FileData> files_;
   SymbolIndex index_;
+  std::set<std::string> nodiscard_names_;
+  std::mutex findings_mutex_;
   LintResult result_;
 };
 
@@ -985,6 +1474,18 @@ std::vector<RuleInfo> AllRules() {
        "hot-path component TUs never name shard machinery types; cross domains via "
        "Simulation::PostCross* only"},
       {"lock-order", "lock acquisitions nest per the declared hierarchy (lock_order.txt)"},
+      {"use-after-move",
+       "moved-from PacketPtr/EventFn/InlineFunction/unique_ptr locals may not be used "
+       "on any path before reassignment (flow-sensitive, src/)"},
+      {"guarded-field-path",
+       "AF_GUARDED_BY fields are only touched where the guard's MutexLock scope or "
+       "AF_REQUIRES holds on the path (flow-sensitive, src/)"},
+      {"callback-lifetime",
+       "this-capturing lambdas in src/{sim,mac,core,aqm,net,obs} are not posted "
+       "detached; schedule handles must be retained on every path"},
+      {"unused-result",
+       "results of AF_NODISCARD functions (EventLoop schedules, PacketPool::Allocate) "
+       "may not be silently discarded"},
   };
 }
 

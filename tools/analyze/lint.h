@@ -64,6 +64,25 @@
 //                       (outermost first); re-acquiring a held lock is
 //                       flagged too
 //
+// Flow-sensitive rules (per-function CFGs — tools/analyze/cfg.h — with
+// forward may/must dataflow — tools/analyze/dataflow.h):
+//   use-after-move      a moved-from PacketPtr / EventFn / InlineFunction /
+//                       std::unique_ptr local used on any path before
+//                       reassignment/.reset() (src/ only; null checks of
+//                       the guaranteed-null moved-from pointers are fine)
+//   guarded-field-path  an AF_GUARDED_BY field touched on a path where the
+//                       guard's MutexLock RAII scope has ended or was never
+//                       entered and no AF_REQUIRES covers the function
+//   callback-lifetime   a lambda capturing `this` (or by-reference state)
+//                       passed to the detached Post*/PostCross* in
+//                       src/{sim,mac,core,aqm,net,obs}, or a Schedule*/At/
+//                       After handle for such a lambda dropped on some path
+//                       instead of being stored/returned/passed on
+//   unused-result       a full-statement call to an AF_NODISCARD function
+//                       (EventLoop::Schedule*, Simulation::At/After,
+//                       PacketPool::Allocate) whose result is discarded;
+//                       (void)-cast is the sanctioned explicit discard
+//
 // Suppressions: `// airfair-lint: allow(rule-id): reason` on the flagged
 // line or the line directly above it. File-scope rules (header-guard,
 // include-self-first, core-needs-test, audit-registration) accept the

@@ -63,6 +63,41 @@ bool HasDisciplineAnnotation(const std::string& text) {
   return false;
 }
 
+// Last identifier of the AF_GUARDED_BY / AF_PT_GUARDED_BY argument, or "".
+// The last identifier resolves member expressions ("pool_->chunk_mutex_" ->
+// "chunk_mutex_"), matching how lock acquisitions name their lock.
+std::string GuardArgument(const std::string& text) {
+  static const char* kGuardedMacros[] = {"AF_GUARDED_BY", "AF_PT_GUARDED_BY"};
+  for (const char* macro : kGuardedMacros) {
+    const size_t pos = FindToken(text, macro);
+    if (pos == std::string::npos) continue;
+    const size_t open = text.find('(', pos);
+    if (open == std::string::npos) continue;
+    int balance = 0;
+    size_t close = std::string::npos;
+    for (size_t i = open; i < text.size(); ++i) {
+      if (text[i] == '(') ++balance;
+      if (text[i] == ')' && --balance == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    std::string name;
+    for (size_t i = open + 1; i < close;) {
+      if (IsIdentChar(text[i])) {
+        const size_t start = i;
+        while (i < close && IsIdentChar(text[i])) ++i;
+        name = text.substr(start, i - start);
+        continue;
+      }
+      ++i;
+    }
+    if (!name.empty()) return name;
+  }
+  return "";
+}
+
 bool IsRawMutexDecl(const std::string& code) {
   return HasToken(code, "std::mutex") || HasToken(code, "std::recursive_mutex") ||
          HasToken(code, "std::shared_mutex") || HasToken(code, "std::timed_mutex");
@@ -366,6 +401,12 @@ class FileIndexer {
     return line_idx > 0 && HasDisciplineAnnotation((*file_.raw)[line_idx - 1]);
   }
 
+  std::string GuardNear(const std::string& code_line, size_t line_idx) const {
+    const std::string guard = GuardArgument(code_line);
+    if (!guard.empty()) return guard;
+    return line_idx > 0 ? GuardArgument((*file_.raw)[line_idx - 1]) : "";
+  }
+
   void MaybeRecordDeclaration(const std::string& raw_code, size_t line_idx, int line_no) {
     const std::string code = Trim(raw_code);
     if (code.empty() || code[0] == '#') return;
@@ -417,6 +458,7 @@ class FileIndexer {
       field.is_raw_mutex = is_raw_mutex;
       field.is_wrapped_mutex = is_wrapped_mutex;
       field.has_annotation = annotated;
+      field.guard = GuardNear(code, line_idx);
       open_classes_.back().fields.push_back(std::move(field));
       return;
     }
@@ -445,6 +487,7 @@ class FileIndexer {
     sym.is_raw_mutex = is_raw_mutex;
     sym.is_wrapped_mutex = is_wrapped_mutex;
     sym.has_annotation = annotated;
+    sym.guard = GuardNear(code, line_idx);
     out_->statics.push_back(std::move(sym));
   }
 

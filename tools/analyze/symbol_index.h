@@ -51,6 +51,10 @@ struct FieldSymbol {
   bool is_raw_mutex = false;      // std::mutex / std::recursive_mutex / std::shared_mutex
   bool is_wrapped_mutex = false;  // the annotated airfair::Mutex wrapper
   bool has_annotation = false;    // AF_GUARDED_BY / AF_PT_GUARDED_BY / AF_ATOMIC
+  // Last identifier of the AF_GUARDED_BY / AF_PT_GUARDED_BY argument
+  // ("chunk_mutex_" for AF_GUARDED_BY(chunk_mutex_)); "" when unguarded or
+  // AF_ATOMIC. Feeds the flow-sensitive guarded-field-path rule.
+  std::string guard;
 };
 
 struct ClassSymbol {
@@ -76,6 +80,7 @@ struct StaticSymbol {
   bool is_raw_mutex = false;
   bool is_wrapped_mutex = false;
   bool has_annotation = false;
+  std::string guard;  // As in FieldSymbol.
 };
 
 // One RAII lock acquisition (MutexLock / std::lock_guard / std::unique_lock
