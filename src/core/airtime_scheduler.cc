@@ -107,6 +107,24 @@ void AirtimeScheduler::ChargeAirtime(StationId station, AccessCategory ac, TimeU
   AF_TRACE_SCHED_CHARGE(station, airtime.us(), state.deficit_us);
 }
 
+void AirtimeScheduler::RetireStation(StationId station) {
+  if (station < 0 || station >= static_cast<StationId>(stations_.size())) {
+    return;  // Never scheduled: nothing to settle.
+  }
+  for (size_t ac = 0; ac < static_cast<size_t>(kNumAccessCategories); ++ac) {
+    StationState& state = (*stations_[static_cast<size_t>(station)])[ac];
+    if (state.node.linked()) {
+      state.node.Unlink();
+      AF_TRACE_SCHED_MOVE(station, kTraceListOld, kTraceListNone);
+    }
+    // Settle the deficit: zero is the value an untouched station carries, so
+    // a rejoin goes through MarkBacklogged's fresh-quantum path exactly like
+    // a first join. Zero also sits inside [min_deficit_seen, quantum], so
+    // the audit bounds hold unconditionally.
+    state.deficit_us = 0;
+  }
+}
+
 int64_t AirtimeScheduler::DeficitUs(StationId station, AccessCategory ac) const {
   if (station < 0 || station >= static_cast<StationId>(stations_.size())) {
     return 0;

@@ -59,6 +59,16 @@ class AirtimeScheduler {
   // and (when enabled by the backend) on RX.
   void ChargeAirtime(StationId station, AccessCategory ac, TimeUs airtime);
 
+  // Station-lifecycle teardown (fault-injection churn): settles the
+  // station's outstanding deficit to zero and unlinks it from every AC's
+  // new/old list. Without this a departed station's stale negative deficit
+  // (or leftover sparse-list position) would poison its rejoin —
+  // MarkBacklogged only resets the deficit for *unlisted* stations, so a
+  // retired-but-still-listed entry would re-enter service mid-rotation with
+  // accounting from its previous life. Idempotent; unknown stations are a
+  // no-op (state is created lazily by StateOf).
+  void RetireStation(StationId station);
+
   int64_t DeficitUs(StationId station, AccessCategory ac) const;
 
   // True when any station is scheduled for `ac` (may include stations whose

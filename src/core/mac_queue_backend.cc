@@ -171,6 +171,31 @@ void MacQueueBackend::AccountRxAirtime(StationId station, AccessCategory ac, Tim
   }
 }
 
+int64_t MacQueueBackend::FlushStation(StationId station) {
+  int64_t drained = queues_.FlushStation(station);
+  for (Tid tid = 0; tid < kNumTids; ++tid) {
+    const auto it = retry_.find(KeyOf(station, tid));
+    if (it != retry_.end()) {
+      drained += static_cast<int64_t>(it->second.size());
+      retry_.erase(it);
+    }
+  }
+  for (auto& ring : ring_) {
+    for (auto it = ring.begin(); it != ring.end();) {
+      if (*it / kNumTids == station) {
+        in_ring_.erase(*it);
+        it = ring.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (config_.airtime_fairness) {
+    scheduler_.RetireStation(station);
+  }
+  return drained;
+}
+
 void MacQueueBackend::RegisterAudits(Auditor* auditor) const {
   auditor->AddCheck("mac_queues",
                     [this](const Auditor::FailFn& fail) { queues_.CheckInvariants(fail); });

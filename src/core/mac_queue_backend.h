@@ -53,6 +53,10 @@ class MacQueueBackend : public ApQueueBackend {
   void Requeue(StationId station, Tid tid, Mpdu mpdu) override;
   void AccountTxAirtime(StationId station, AccessCategory ac, TimeUs airtime) override;
   void AccountRxAirtime(StationId station, AccessCategory ac, TimeUs airtime) override;
+  // Churn teardown: flushes the station's TID structures out of MacQueues,
+  // destroys its retry queues, removes its keys from the FQ-MAC round-robin
+  // ring and retires its deficit state from the airtime scheduler.
+  int64_t FlushStation(StationId station) override;
   int packet_count() const override;
   int64_t drops() const override { return queues_.drops(); }
 

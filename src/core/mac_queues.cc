@@ -168,6 +168,39 @@ PacketPtr MacQueues::Dequeue(StationId station, Tid tid) {
   }
 }
 
+int64_t MacQueues::FlushStation(StationId station) {
+  int64_t drained = 0;
+  auto drain_queue = [&](FlowQueue& q) {
+    drained += static_cast<int64_t>(q.packets.size());
+    total_packets_ -= static_cast<int>(q.packets.size());
+    q.packets.clear();  // Destroys the PacketPtrs (returned to the pool).
+    q.bytes = 0;
+    q.backlog_node.Unlink();
+    q.sched_node.Unlink();
+    q.tid = nullptr;
+    // A fresh CoDel session for the queue's next assignment: the old
+    // station's sojourn state must not leak into whichever flow claims this
+    // pool slot after the rejoin.
+    q.codel = CoDelState();
+  };
+  for (Tid tid = 0; tid < kNumTids; ++tid) {
+    const auto it = tids_.find(station * kNumTids + tid);
+    if (it == tids_.end()) {
+      continue;
+    }
+    TidQueue* txq = it->second.get();
+    for (FlowQueue& q : pool_) {
+      if (q.tid == txq) {
+        drain_queue(q);
+      }
+    }
+    drain_queue(txq->overflow);
+    tids_.erase(it);
+  }
+  flushed_total_ += drained;
+  return drained;
+}
+
 int MacQueues::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {
@@ -177,13 +210,14 @@ int MacQueues::CheckInvariants(AuditFailFn fail) const {
   auto subfail = [&](const std::string& message) { report(message); };
 
   // --- Global packet conservation -----------------------------------------
-  const int64_t accounted =
-      dequeued_total_ + codel_drops_ + overflow_drops_ + total_packets_;
+  const int64_t accounted = dequeued_total_ + codel_drops_ + overflow_drops_ +
+                            flushed_total_ + total_packets_;
   if (enqueued_total_ != accounted) {
     std::ostringstream os;
     os << "packet conservation violated: enqueued=" << enqueued_total_
        << " != dequeued=" << dequeued_total_ << " + codel_drops=" << codel_drops_
-       << " + overflow_drops=" << overflow_drops_ << " + resident=" << total_packets_;
+       << " + overflow_drops=" << overflow_drops_ << " + flushed=" << flushed_total_
+       << " + resident=" << total_packets_;
     report(os.str());
   }
 

@@ -76,6 +76,19 @@ class MacQueues {
   int TidBacklog(StationId station, Tid tid) const;
   int packet_count() const { return total_packets_; }
 
+  // Station-lifecycle teardown (fault-injection churn): destroys every
+  // packet resident in the station's TID structures (flow queues assigned to
+  // them plus the per-TID overflow queues), releases the flow queues back to
+  // the shared pool and erases the TID states. Flushed packets are tracked
+  // in flushed_total_ so the conservation recount still balances
+  // (enqueued == dequeued + dropped + flushed + resident). Returns the
+  // number of packets destroyed.
+  int64_t FlushStation(StationId station);
+
+  // Packets destroyed by FlushStation (they were neither dequeued nor
+  // dropped by an AQM decision).
+  int64_t flushed_total() const { return flushed_total_; }
+
   int64_t codel_drops() const { return codel_drops_; }
   int64_t overflow_drops() const { return overflow_drops_; }
   int64_t drops() const { return codel_drops_ + overflow_drops_; }
@@ -146,6 +159,7 @@ class MacQueues {
   int64_t overflow_drops_ = 0;
   int64_t enqueued_total_ = 0;
   int64_t dequeued_total_ = 0;
+  int64_t flushed_total_ = 0;
   // Largest packet ever enqueued; bounds how far a deficit may go negative.
   int32_t max_packet_bytes_seen_ = 0;
 };

@@ -1,0 +1,35 @@
+#include "src/fault/gilbert_elliott.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace airfair {
+
+GilbertElliottChain::GilbertElliottChain(uint64_t seed, const Config& config)
+    : rng_(seed), config_(config) {
+  AF_CHECK_GT(config_.mean_good.us(), 0) << " Gilbert-Elliott good dwell must be positive";
+  AF_CHECK_GT(config_.mean_bad.us(), 0) << " Gilbert-Elliott bad dwell must be positive";
+}
+
+void GilbertElliottChain::ExtendTo(TimeUs t) {
+  while (horizon_us_ <= t.us()) {
+    const bool bad_next = flips_.size() % 2 == 0;  // State after the next flip.
+    const TimeUs mean = bad_next ? config_.mean_good : config_.mean_bad;
+    // Dwell at least one microsecond so flips stay strictly increasing.
+    const int64_t dwell = std::max<int64_t>(1, rng_.Exponential(mean).us());
+    horizon_us_ += dwell;
+    flips_.push_back(horizon_us_);
+  }
+}
+
+bool GilbertElliottChain::BadAt(TimeUs t) {
+  AF_DCHECK_GE(t.us(), 0) << " Gilbert-Elliott queried before chain start";
+  ExtendTo(t);
+  // Flips strictly after t have not happened yet; count the rest.
+  const auto it = std::upper_bound(flips_.begin(), flips_.end(), t.us());
+  const size_t flips_before = static_cast<size_t>(it - flips_.begin());
+  return flips_before % 2 == 1;
+}
+
+}  // namespace airfair

@@ -40,6 +40,13 @@ void AccessPoint::FromWire(PacketPtr packet) {
     ++unroutable_;
     return;
   }
+  if (!stations_->IsActive(station)) {
+    // Downlink traffic racing a churn departure: the station is gone, so the
+    // packet is destroyed and accounted as drained (not dropped — no AQM
+    // decision was involved).
+    ++churn_drained_;
+    return;
+  }
   const AccessCategory ac = packet->ac();
   backend_->Enqueue(std::move(packet), station);
   FillHardwareQueue(ac);
@@ -101,6 +108,35 @@ void AccessPoint::FillHardwareQueue(AccessCategory ac) {
   }
 }
 
+void AccessPoint::DetachStation(StationId station) {
+  if (station < 0) {
+    return;
+  }
+  // Prepared-but-unsent aggregates: every live MPDU they hold is destroyed.
+  for (auto& front : fronts_) {
+    auto& hw = front->hw_queue_;
+    for (auto it = hw.begin(); it != hw.end();) {
+      if (it->station != station) {
+        ++it;
+        continue;
+      }
+      for (const auto& mpdu : it->mpdus) {
+        if (mpdu.packet != nullptr) {
+          ++churn_drained_;
+        }
+      }
+      it = hw.erase(it);
+    }
+  }
+  if (backend_ != nullptr) {
+    churn_drained_ += backend_->FlushStation(station);
+  }
+  // Close the transmitter half of the block-ack sessions toward the station;
+  // the caller resets the receiver half (ReorderBuffer::FlushStation) so
+  // both sequence spaces restart together on rejoin.
+  sequencer_.ResetReceiver(stations_->Get(station).node_id);
+}
+
 TxDescriptor AccessPoint::AcFrontEnd::BuildTransmission() {
   if (hw_queue_.empty()) {
     return TxDescriptor{};
@@ -143,6 +179,12 @@ void AccessPoint::HandleTxComplete(AcFrontEnd* front, TxDescriptor tx) {
     ++mpdu.retries;
     if (mpdu.retries > kMpduRetryLimit) {
       ++retry_drops_;
+      continue;
+    }
+    if (tx.station >= 0 && !stations_->IsActive(tx.station)) {
+      // The station detached while this aggregate was on the air. Requeueing
+      // would re-mark a retired station backlogged; drain instead.
+      ++churn_drained_;
       continue;
     }
     backend_->Requeue(tx.station, tx.tid, std::move(mpdu));

@@ -68,8 +68,24 @@ class AccessPoint {
   using TxObserver = InlineFunction<void(const TxDescriptor& tx, int succeeded)>;
   void set_tx_observer(TxObserver observer) { tx_observer_ = std::move(observer); }
 
+  // Station-lifecycle teardown (fault-injection churn). Call after marking
+  // the station inactive in the StationTable. Purges the station's prepared
+  // aggregates from every hardware queue, flushes its backend state
+  // (FlushStation) and closes the transmitter half of its block-ack sessions
+  // (MacSequencer::ResetReceiver) so a rejoin restarts the sequence space at
+  // zero, in step with the receiver-side reorder flush. An aggregate already
+  // handed to the medium finishes on the air: its successful MPDUs are
+  // drained at delivery by the inactive-station check, its failed MPDUs by
+  // the inactive check in the retry path. All packets destroyed here are
+  // accounted in churn_drained().
+  void DetachStation(StationId station);
+
   int64_t retry_drops() const { return retry_drops_; }
   int64_t unroutable_drops() const { return unroutable_; }
+  // Packets destroyed by churn teardown: hardware-queue purges, backend
+  // flushes, and downlink arrivals/retries for a detached station. Feeds the
+  // conservation ledger's `drained` term.
+  int64_t churn_drained() const { return churn_drained_; }
 
  private:
   class AcFrontEnd : public MediumClient {
@@ -106,6 +122,7 @@ class AccessPoint {
   std::vector<TimeUs> estimated_airtime_;
   int64_t retry_drops_ = 0;
   int64_t unroutable_ = 0;
+  int64_t churn_drained_ = 0;
 };
 
 }  // namespace airfair

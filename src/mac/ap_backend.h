@@ -40,6 +40,20 @@ class ApQueueBackend {
   virtual void AccountTxAirtime(StationId station, AccessCategory ac, TimeUs airtime) = 0;
   virtual void AccountRxAirtime(StationId station, AccessCategory ac, TimeUs airtime) = 0;
 
+  // Station-lifecycle teardown (fault-injection churn): destroys every
+  // packet the backend still holds for `station` (flow queues, overflow and
+  // retry queues alike) and retires any per-station scheduler state so a
+  // later rejoin starts from a clean slate. Returns the number of packets
+  // destroyed, which the caller accounts under the ledger's `drained`
+  // category. The default is a no-op: shared-FIFO backends (the paper's
+  // baseline qdiscs) have no per-station structure to tear down — packets
+  // already queued for a departed station simply transmit and are drained at
+  // delivery time by the inactive-station check.
+  virtual int64_t FlushStation(StationId station) {
+    (void)station;
+    return 0;
+  }
+
   // Total packets queued (diagnostics).
   virtual int packet_count() const = 0;
   virtual int64_t drops() const = 0;

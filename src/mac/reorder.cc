@@ -91,6 +91,30 @@ void ReorderBuffer::FlushHole(Stream* stream, bool timeout) {
   ReleaseContiguous(stream);
 }
 
+int64_t ReorderBuffer::FlushStation(uint32_t transmitter_node) {
+  int64_t drained = 0;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if ((it->first >> 8) != transmitter_node) {
+      ++it;
+      continue;
+    }
+    Stream* stream = it->second.get();
+    drained += static_cast<int64_t>(stream->buffer.size());
+    held_ -= static_cast<int64_t>(stream->buffer.size());
+    // Destroying the map destroys the held PacketPtrs (pool outstanding
+    // drops in the same call, keeping the ledger balanced at this instant).
+    stream->buffer.clear();
+    stream->flush_timer.Cancel();
+    it = streams_.erase(it);
+  }
+  churn_drained_ += drained;
+  if (drained > 0) {
+    AF_TRACE_REORDER_FLUSH(sim_->now(), static_cast<int32_t>(transmitter_node), drained,
+                           /*timeout=*/0);
+  }
+  return drained;
+}
+
 int ReorderBuffer::CheckInvariants(AuditFailFn fail) const {
   int violations = 0;
   auto report = [&](const std::string& message) {

@@ -44,6 +44,22 @@ class MacSequencer {
     packet->mac_seq = next_[key]++;
   }
 
+  // Closes every (receiver_node, tid) sequence space — the transmitter half
+  // of a block-ack session teardown. The next frame toward the receiver
+  // starts a fresh session at sequence 0, matching the receiver-side
+  // ReorderBuffer::FlushStation reset (both sides must restart together or
+  // post-rejoin frames would land behind the stale release point and be
+  // discarded as duplicates).
+  void ResetReceiver(uint32_t receiver_node) {
+    for (auto it = next_.begin(); it != next_.end();) {
+      if ((it->first >> 8) == receiver_node) {
+        it = next_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
  private:
   std::unordered_map<uint64_t, int64_t> next_;
 };
@@ -64,11 +80,30 @@ class ReorderBuffer {
   // reordering.
   void Receive(PacketPtr packet, uint32_t transmitter_node, Tid tid);
 
+  // Block-ack session close for one transmitter (receiver half of a churn
+  // teardown): destroys every packet held for that transmitter's streams
+  // (accounted in churn_drained), cancels the flush timers and erases the
+  // streams, so a rejoin starts a fresh sequence space at 0. The
+  // duplicate/timeout counters are preserved — they describe history, not
+  // the departed session. Returns the number of packets drained.
+  int64_t FlushStation(uint32_t transmitter_node);
+
+  // Drains one packet that arrived for a detached receiver (the testbed's
+  // delivery hook routes inactive-station deliveries here so the drain is
+  // accounted where the ledger already looks). The packet is destroyed.
+  void DrainInactive(PacketPtr packet) {
+    ++churn_drained_;
+    packet = nullptr;
+  }
+
   int64_t held_packets() const { return held_; }
   int64_t timeout_flushes() const { return timeout_flushes_; }
   // Frames discarded because their sequence number was already released
   // (retries of MPDUs the receiver had). Feeds the conservation ledger.
   int64_t duplicate_drops() const { return duplicate_drops_; }
+  // Packets destroyed by churn teardown (FlushStation + DrainInactive);
+  // feeds the ledger's `drained` term.
+  int64_t churn_drained() const { return churn_drained_; }
 
   // Invariant audit (see src/sim/audit.h). Verifies, calling `fail` once per
   // violation and returning the violation count:
@@ -107,6 +142,7 @@ class ReorderBuffer {
   int64_t held_ = 0;
   int64_t timeout_flushes_ = 0;
   int64_t duplicate_drops_ = 0;
+  int64_t churn_drained_ = 0;
 };
 
 }  // namespace airfair

@@ -23,7 +23,25 @@ WifiStation::WifiStation(Simulation* sim, WifiMedium* medium, const StationTable
   }
 }
 
+void WifiStation::Detach() {
+  detached_ = true;
+  for (auto& q : acs_) {
+    churn_drained_ += static_cast<int64_t>(q->fifo_.size());
+    churn_drained_ += static_cast<int64_t>(q->retry_.size());
+    q->fifo_.clear();
+    q->retry_.clear();
+  }
+  // Uplink half of the block-ack teardown; the AP-side ReorderBuffer for
+  // this transmitter is flushed by the caller so both sides restart at
+  // sequence 0 on rejoin.
+  sequencer_.ResetReceiver(ap_node_id_);
+}
+
 void WifiStation::SendUplink(PacketPtr packet) {
+  if (detached_) {
+    ++churn_drained_;
+    return;
+  }
   AcQueue* q = acs_[static_cast<size_t>(packet->ac())].get();
   if (static_cast<int>(q->fifo_.size()) >= uplink_queue_limit_) {
     ++uplink_drops_;
@@ -80,6 +98,12 @@ void WifiStation::AcQueue::OnTxComplete(TxDescriptor tx, bool collision) {
     ++mpdu.retries;
     if (mpdu.retries > kMpduRetryLimit) {
       ++station_->retry_drops_;
+      continue;
+    }
+    if (station_->detached_) {
+      // The station left while this aggregate was on the air: its failed
+      // MPDUs are drained, not retried into a torn-down session.
+      ++station_->churn_drained_;
       continue;
     }
     retry_.push_back(std::move(mpdu));

@@ -34,8 +34,22 @@ class WifiStation {
   // Uplink entry point; wire this as the station Host's egress.
   void SendUplink(PacketPtr packet);
 
+  // Station-lifecycle churn (fault injection). Detach destroys every queued
+  // uplink packet (FIFOs and retry queues, accounted in churn_drained()) and
+  // closes the uplink half of the block-ack session toward the AP so a
+  // rejoin restarts the sequence space at zero, matching the AP-side reorder
+  // flush. While detached, uplink submissions and in-flight retry returns
+  // are drained instead of queued. Attach clears the flag; the traffic
+  // sources keep running throughout (the Testbed models churn as link-level
+  // presence, not application restarts).
+  void Detach();
+  void Attach() { detached_ = false; }
+  bool detached() const { return detached_; }
+
   int64_t uplink_drops() const { return uplink_drops_; }
   int64_t retry_drops() const { return retry_drops_; }
+  // Packets destroyed by churn teardown; feeds the ledger's `drained` term.
+  int64_t churn_drained() const { return churn_drained_; }
 
  private:
   class AcQueue : public MediumClient {
@@ -63,6 +77,8 @@ class WifiStation {
   std::array<std::unique_ptr<AcQueue>, kNumAccessCategories> acs_;
   int64_t uplink_drops_ = 0;
   int64_t retry_drops_ = 0;
+  int64_t churn_drained_ = 0;
+  bool detached_ = false;
 };
 
 }  // namespace airfair

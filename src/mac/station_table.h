@@ -18,6 +18,11 @@ struct StationInfo {
   uint32_t node_id = 0;
   PhyRate rate;
   std::string name;
+  // False while the station is detached from the network (fault-injection
+  // churn, src/fault). Every table entry is declared at construction; churn
+  // toggles presence rather than adding/removing entries, so StationIds and
+  // node ids stay stable across leave/rejoin.
+  bool active = true;
 };
 
 class StationTable {
@@ -40,6 +45,14 @@ class StationTable {
   }
 
   int size() const { return static_cast<int>(stations_.size()); }
+
+  // Churn presence toggles (see src/fault/fault_injector.h). A station that
+  // is not `active` receives no downlink service and its in-flight packets
+  // are drained into the ledger's `drained` category.
+  bool IsActive(StationId id) const { return stations_[static_cast<size_t>(id)].active; }
+  void SetActive(StationId id, bool active) {
+    stations_[static_cast<size_t>(id)].active = active;
+  }
 
  private:
   std::vector<StationInfo> stations_;

@@ -15,6 +15,13 @@
 //              drops, AP retry/unroutable drops, station uplink/retry
 //              drops, wired-link tail drops, host port-demux failures,
 //              reorder duplicate discards),
+//   drained    packets destroyed by station-lifecycle churn (fault
+//              injection): AP/backend teardown flushes, station uplink
+//              flushes, reorder-buffer session closes and deliveries that
+//              arrived for a detached station. Kept apart from `dropped`
+//              because no queueing/AQM decision was involved — a churn test
+//              asserting "CoDel dropped nothing" must not be confused by
+//              teardown,
 //   in_flight  PacketPool::outstanding() - live packets anywhere: resident
 //              in queues, held by scheduled events, crossing the medium.
 //
@@ -46,12 +53,13 @@
 
 namespace airfair {
 
-// One ledger snapshot: the identity's three right-hand terms plus the
-// per-layer drop breakdown used in violation messages.
+// One ledger snapshot: the identity's four right-hand terms plus the
+// per-layer drop/drain breakdowns used in violation messages.
 struct LedgerTallies {
   int64_t injected = 0;
   int64_t delivered = 0;
   int64_t dropped = 0;
+  int64_t drained = 0;
   int64_t in_flight = 0;
 
   // Drop breakdown (sums to `dropped`).
@@ -63,8 +71,21 @@ struct LedgerTallies {
   int64_t host_undeliverable = 0;  // Port demux found no endpoint.
   int64_t reorder_duplicates = 0;  // Block-ack duplicate discards.
 
-  // injected - delivered - dropped - in_flight; zero when conserved.
-  int64_t Imbalance() const { return injected - delivered - dropped - in_flight; }
+  // Drain breakdown (sums to `drained`).
+  int64_t ap_churn_drained = 0;       // AP hw-queue purges + backend flushes
+                                      // + downlink arrivals for detached
+                                      // stations.
+  int64_t station_churn_drained = 0;  // Station uplink flushes + detached
+                                      // submissions/retries.
+  int64_t reorder_churn_drained = 0;  // Session-close flushes + deliveries
+                                      // routed to a detached receiver.
+  int64_t extra_drained = 0;          // Registered external drain counters.
+
+  // injected - delivered - dropped - drained - in_flight; zero when
+  // conserved.
+  int64_t Imbalance() const {
+    return injected - delivered - dropped - drained - in_flight;
+  }
 
   std::string ToString() const;
 };
@@ -80,6 +101,11 @@ class PacketLedger {
   void set_access_point(const AccessPoint* ap) { ap_ = ap; }
   void set_link(const WiredLink* link) { link_ = link; }
   void set_pool(const PacketPool* pool) { pool_ = pool; }
+
+  // Registers an external drain counter (e.g. a fault injector that destroys
+  // packets outside the MAC components). The pointee must outlive the
+  // ledger; its value is added to the `drained` term at every tally.
+  void AddDrainCounter(const int64_t* counter) { drain_counters_.push_back(counter); }
 
   // Test hook: extra packets to treat as injected (simulates a traffic
   // source that creates packets behind the ledger's back — i.e. a leak).
@@ -98,6 +124,7 @@ class PacketLedger {
   const AccessPoint* ap_ = nullptr;
   const WiredLink* link_ = nullptr;
   const PacketPool* pool_ = nullptr;
+  std::vector<const int64_t*> drain_counters_;
   int64_t injected_bias_ = 0;
 };
 

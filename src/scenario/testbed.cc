@@ -198,6 +198,12 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
     }
     const StationId id = station_table_.FromNode(dst_node);
     if (id != kNoStation) {
+      if (!station_table_.IsActive(id)) {
+        // Straggler from a transmission that was on the air when the
+        // station churned out: drain it where the ledger already looks.
+        reorder_[static_cast<size_t>(id)]->DrainInactive(std::move(packet));
+        return;
+      }
       reorder_[static_cast<size_t>(id)]->Receive(std::move(packet), src_node, tid);
     }
   });
@@ -222,6 +228,44 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
   BuildLedger(config);
   BuildAuditor(config);
   BuildTrace(config);
+  BuildFault(config);
+}
+
+void Testbed::BuildFault(const TestbedConfig& config) {
+  if (config.faults.empty()) {
+    return;
+  }
+  FaultInjectorContext ctx;
+  ctx.sim = &sim_;
+  ctx.stations = &station_table_;
+  ctx.medium = &medium_;
+  ctx.ap = ap_.get();
+  ctx.ap_node = ap_node();
+  for (const auto& station : wifi_stations_) {
+    ctx.wifi.push_back(station.get());
+  }
+  for (const auto& reorder : reorder_) {
+    ctx.reorder.push_back(reorder.get());
+  }
+  ctx.timeseries = timeseries_.get();
+  // Base error models, rebuilt to match what the constructor installed on
+  // the medium, so burst windows layer over the configured channel instead
+  // of replacing it.
+  for (const StationSpec& spec : config.stations) {
+    if (spec.auto_rate) {
+      const double snr = spec.snr_db;
+      ctx.base_error.push_back([snr](const PhyRate& rate) {
+        return rate.mcs < 0 ? 0.0 : MpduErrorProbability(snr, rate.mcs);
+      });
+    } else {
+      const double p = spec.error_rate;
+      ctx.base_error.push_back([p](const PhyRate&) { return p; });
+    }
+  }
+  const uint64_t seed =
+      config.churn_seed != 0 ? config.churn_seed : ChurnSeedFromEnv(config.seed);
+  fault_ = std::make_unique<FaultInjector>(std::move(ctx), config.faults, seed);
+  fault_->Arm();
 }
 
 void Testbed::BuildLedger(const TestbedConfig& config) {

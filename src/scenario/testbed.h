@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/core/mac_queue_backend.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
 #include "src/mac/access_point.h"
 #include "src/mac/medium.h"
 #include "src/mac/channel_model.h"
@@ -135,6 +137,16 @@ struct TestbedConfig {
   int shards = ShardCountFromEnv();
   // Station host <-> MAC bus delay; negative = auto (HostBusDelayFromEnv).
   TimeUs host_bus_delay = TimeUs(-1);
+  // Fault-injection perturbation schedule (src/fault): station churn,
+  // Gilbert-Elliott burst loss and rate fades, replayed as control-loop
+  // events (serial instants under sharding, so faulted runs stay
+  // bit-identical across AIRFAIR_SHARDS). Defaults to the
+  // AIRFAIR_FAULT_SCHEDULE environment schedule; empty = no injection.
+  FaultPlan faults = FaultPlanFromEnv();
+  // Seed for the burst-loss chains. 0 = AIRFAIR_CHURN_SEED, falling back to
+  // a derivation from `seed` (see ChurnSeedFromEnv).
+  uint64_t churn_seed = 0;
+
   // Airtime shares / Jain are computed over a sliding window of this many
   // sample ticks (default 20 x 10 ms = 200 ms). One tick is too coarse: a
   // single 3 ms A-MPDU dominates a 10 ms window and the Jain index
@@ -191,6 +203,9 @@ class Testbed {
   TraceBuffer* trace_buffer() { return trace_.get(); }
   Timeseries* timeseries() { return timeseries_.get(); }
 
+  // The fault injector, or nullptr when the config carries no fault plan.
+  FaultInjector* fault_injector() { return fault_.get(); }
+
   // --- shard-domain partition (1 shard: everything is domain 0) ---
   int shards() const { return shards_; }
   TimeUs host_bus_delay() const { return host_bus_; }
@@ -211,6 +226,7 @@ class Testbed {
   void BuildLedger(const TestbedConfig& config);
   void BuildAuditor(const TestbedConfig& config);
   void BuildTrace(const TestbedConfig& config);
+  void BuildFault(const TestbedConfig& config);
   void ScheduleSample();
   void SampleTimeseries();
   void ExportTraceArtifacts();
@@ -234,6 +250,9 @@ class Testbed {
   std::vector<std::unique_ptr<MinstrelRateControl>> rate_controls_;
   std::unique_ptr<Auditor> auditor_;
   std::unique_ptr<PacketLedger> ledger_;
+  // Non-owning over everything above (stations, AP, medium, reorder); holds
+  // only bookkeeping of its own at destruction time.
+  std::unique_ptr<FaultInjector> fault_;
   // Non-owning views of the backend for audit registration.
   MacQueueBackend* mac_backend_ = nullptr;
   QdiscBackend* qdisc_backend_ = nullptr;

@@ -185,6 +185,77 @@ TEST(AirtimeScheduler, DeficitReplenishedByQuantum) {
   EXPECT_LE(sched.DeficitUs(0, kBE), 5000);
 }
 
+TEST(AirtimeScheduler, RetireStationUnlinksAndSettlesDeficit) {
+  AirtimeScheduler::Config config;
+  config.quantum_us = 1000;
+  AirtimeScheduler sched(config);
+  sched.MarkBacklogged(0, kBE);
+  sched.MarkBacklogged(1, kBE);
+  // Run station 1 deep into deficit debt so retirement has real state to
+  // settle (an uplink-heavy station can owe many quanta).
+  sched.ChargeAirtime(1, kBE, 12000_us);
+  sched.RetireStation(1);
+  EXPECT_EQ(sched.DeficitUs(1, kBE), 0);
+  // The retired station is unlinked: only station 0 is ever served.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.NextStation(kBE, Always()), 0);
+    sched.ChargeAirtime(0, kBE, 900_us);
+  }
+  int violations = 0;
+  sched.CheckInvariants([&violations](const std::string&) { ++violations; });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(AirtimeScheduler, RejoinAfterRetireLooksLikeFirstJoin) {
+  AirtimeScheduler::Config config;
+  config.quantum_us = 1000;
+  AirtimeScheduler sched(config);
+  sched.MarkBacklogged(0, kBE);
+  sched.MarkBacklogged(1, kBE);
+  sched.ChargeAirtime(1, kBE, 7500_us);  // Old-life debt: -7500.
+  sched.RetireStation(1);
+  // Rejoin: MarkBacklogged must take the fresh-quantum path — the old
+  // life's debt is gone and service alternates as between equals.
+  sched.MarkBacklogged(1, kBE);
+  EXPECT_EQ(sched.DeficitUs(1, kBE), 1000);
+  std::map<StationId, int> grants;
+  for (int i = 0; i < 100; ++i) {
+    const StationId s = sched.NextStation(kBE, Always());
+    ASSERT_NE(s, kNoStation);
+    ++grants[s];
+    sched.ChargeAirtime(s, kBE, 900_us);
+  }
+  EXPECT_NEAR(grants[0], 50, 2);
+  EXPECT_NEAR(grants[1], 50, 2);
+}
+
+TEST(AirtimeScheduler, RetireStationIsIdempotentAndIgnoresUnknownStations) {
+  AirtimeScheduler sched;
+  sched.RetireStation(7);   // Never seen: lazily-created state doesn't exist.
+  sched.RetireStation(-1);  // Out of range.
+  sched.MarkBacklogged(2, kVO);
+  sched.RetireStation(2);
+  sched.RetireStation(2);  // Second retirement of the same station: no-op.
+  EXPECT_FALSE(sched.HasBacklogged(kVO));
+  int violations = 0;
+  sched.CheckInvariants([&violations](const std::string&) { ++violations; });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(AirtimeScheduler, RetireClearsEveryAccessCategory) {
+  AirtimeScheduler sched;
+  sched.MarkBacklogged(3, kBE);
+  sched.MarkBacklogged(3, kVO);
+  sched.ChargeAirtime(3, kBE, 500_us);
+  sched.ChargeAirtime(3, kVO, 900_us);
+  sched.RetireStation(3);
+  for (int i = 0; i < kNumAccessCategories; ++i) {
+    const auto ac = static_cast<AccessCategory>(i);
+    EXPECT_EQ(sched.DeficitUs(3, ac), 0) << "ac " << i;
+    EXPECT_FALSE(sched.HasBacklogged(ac)) << "ac " << i;
+  }
+}
+
 class AirtimeSchedulerFairnessTest : public ::testing::TestWithParam<int64_t> {};
 
 TEST_P(AirtimeSchedulerFairnessTest, AirtimeEqualisesForAnyQuantum) {

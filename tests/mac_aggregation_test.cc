@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "src/mac/airtime.h"
+#include "src/mac/reorder.h"
 #include "src/mac/wifi_constants.h"
 #include "tests/test_util.h"
 
@@ -124,6 +125,67 @@ TEST(Aggregation, AllowedMatrix) {
   EXPECT_FALSE(AggregationAllowed(AccessCategory::kVoice, FastStationRate()));
   // Legacy rates predate aggregation.
   EXPECT_FALSE(AggregationAllowed(AccessCategory::kBestEffort, OneMbpsRate()));
+}
+
+// A source that numbers MPDUs on pop, the way the AP's backend sources do.
+AggregationSource SequencedSourceFrom(std::deque<PacketPtr>* queue, MacSequencer* seq,
+                                      uint32_t receiver_node) {
+  AggregationSource source;
+  source.peek_bytes = [queue]() -> int {
+    return queue->empty() ? -1 : queue->front()->size_bytes;
+  };
+  source.pop = [queue, seq, receiver_node]() -> Mpdu {
+    Mpdu m;
+    m.packet = std::move(queue->front());
+    queue->pop_front();
+    seq->AssignIfNeeded(m.packet.get(), receiver_node, 0);
+    return m;
+  };
+  return source;
+}
+
+std::vector<int64_t> SeqsOf(const TxDescriptor& tx) {
+  std::vector<int64_t> seqs;
+  for (const Mpdu& m : tx.mpdus) {
+    seqs.push_back(m.packet->mac_seq);
+  }
+  return seqs;
+}
+
+TEST(Aggregation, SessionCloseRestartsAggregateSequenceSpace) {
+  // Block-ack session close (churn teardown, transmitter half): after
+  // ResetReceiver, aggregates built toward the rejoined receiver must number
+  // from 0 again — the receiver's ReorderBuffer::FlushStation reset expects
+  // a fresh space, and stale continuation would look like far-future frames.
+  MacSequencer seq;
+  auto q1 = Packets(3);
+  const TxDescriptor first =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SequencedSourceFrom(&q1, &seq, 2));
+  EXPECT_EQ(SeqsOf(first), (std::vector<int64_t>{0, 1, 2}));
+  auto q2 = Packets(2);
+  const TxDescriptor second =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SequencedSourceFrom(&q2, &seq, 2));
+  EXPECT_EQ(SeqsOf(second), (std::vector<int64_t>{3, 4}));
+
+  seq.ResetReceiver(2);
+  auto q3 = Packets(3);
+  const TxDescriptor rejoined =
+      BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SequencedSourceFrom(&q3, &seq, 2));
+  EXPECT_EQ(SeqsOf(rejoined), (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(Aggregation, SessionCloseLeavesOtherReceiversNumbering) {
+  MacSequencer seq;
+  auto q1 = Packets(2);
+  BuildAggregate(1, 2, 0, 0, FastStationRate(), true, SequencedSourceFrom(&q1, &seq, 2));
+  auto q2 = Packets(2);
+  BuildAggregate(1, 3, 1, 0, FastStationRate(), true, SequencedSourceFrom(&q2, &seq, 3));
+  seq.ResetReceiver(2);
+  // Receiver 3's space is untouched: its next aggregate continues at 2.
+  auto q3 = Packets(1);
+  const TxDescriptor tx =
+      BuildAggregate(1, 3, 1, 0, FastStationRate(), true, SequencedSourceFrom(&q3, &seq, 3));
+  EXPECT_EQ(SeqsOf(tx), (std::vector<int64_t>{2}));
 }
 
 TEST(Aggregation, MixedSizesRespectDurationCap) {

@@ -115,6 +115,67 @@ TEST_F(ReorderTest, RetryBeforeTimeoutCancelsFlush) {
   EXPECT_EQ(buffer_.timeout_flushes(), 0);
 }
 
+TEST_F(ReorderTest, FlushStationDrainsHeldPacketsAndResetsSequenceSpace) {
+  Receive(0);
+  Receive(2);  // Hole at 1: held.
+  Receive(3);
+  EXPECT_EQ(buffer_.held_packets(), 2);
+  EXPECT_EQ(buffer_.FlushStation(1), 2);
+  EXPECT_EQ(buffer_.held_packets(), 0);
+  EXPECT_EQ(buffer_.churn_drained(), 2);
+  // Rejoin: the stream was erased, so the fresh session expects 0 again —
+  // a post-rejoin seq-0 frame delivers instead of dying as a duplicate.
+  Receive(0);
+  Receive(1);
+  EXPECT_EQ(delivered_, (std::vector<int64_t>{0, 0, 1}));
+}
+
+TEST_F(ReorderTest, FlushStationCancelsPendingFlushTimer) {
+  Receive(0);
+  Receive(2);  // Hole at 1 arms the release timer.
+  buffer_.FlushStation(1);
+  sim_.RunFor(300_ms);  // Well past the timeout: nothing may fire.
+  EXPECT_EQ(buffer_.timeout_flushes(), 0);
+  EXPECT_EQ(delivered_, (std::vector<int64_t>{0}));
+}
+
+TEST_F(ReorderTest, FlushStationLeavesOtherTransmittersAlone) {
+  Receive(2, /*tx_node=*/1);  // Held behind the hole at 0-1.
+  Receive(3, /*tx_node=*/2);  // Held in transmitter 2's own stream.
+  EXPECT_EQ(buffer_.FlushStation(1), 1);
+  EXPECT_EQ(buffer_.held_packets(), 1);
+  // Transmitter 2's stream is untouched: filling its holes releases in order.
+  Receive(0, /*tx_node=*/2);
+  Receive(1, /*tx_node=*/2);
+  Receive(2, /*tx_node=*/2);
+  EXPECT_EQ(delivered_, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST_F(ReorderTest, FlushStationPreservesHistoryCounters) {
+  Receive(0);
+  Receive(1);
+  Receive(0);  // Duplicate of a released frame.
+  Receive(3);  // Hole at 2.
+  sim_.RunFor(200_ms);  // Timer fires: one timeout flush.
+  EXPECT_EQ(buffer_.duplicate_drops(), 1);
+  EXPECT_EQ(buffer_.timeout_flushes(), 1);
+  Receive(5);  // New hole, held.
+  buffer_.FlushStation(1);
+  // The session teardown describes the departure, not history: the
+  // duplicate/timeout tallies survive it.
+  EXPECT_EQ(buffer_.duplicate_drops(), 1);
+  EXPECT_EQ(buffer_.timeout_flushes(), 1);
+  EXPECT_EQ(buffer_.churn_drained(), 1);
+}
+
+TEST_F(ReorderTest, DrainInactiveAccountsWithoutDelivering) {
+  auto p = MakePacket();
+  p->mac_seq = 7;
+  buffer_.DrainInactive(std::move(p));
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(buffer_.churn_drained(), 1);
+}
+
 TEST(MacSequencer, AssignsMonotonePerReceiverTid) {
   MacSequencer seq;
   auto p1 = MakePacket();

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_schedule.h"
 #include "src/scenario/experiments.h"
 #include "src/scenario/testbed.h"
 #include "src/sim/shard_mailbox.h"
@@ -482,6 +483,47 @@ TEST(ShardedScenario, ThirtyStationDeepRunBitIdenticalAtFourShards) {
   ExpectMeasurementsIdentical(base, sharded);
 }
 
+// A perturbation schedule exercising every fault kind inside ShortTiming's
+// 400 ms span: a leave/rejoin cycle on station 1, a burst-loss window on
+// station 2 and a fade-and-restore on station 0. All four replay as
+// control-loop events — serial instants under sharding — which is what makes
+// the faulted comparisons below exact rather than approximate.
+FaultPlan ChurnPlan() {
+  FaultPlan plan;
+  plan.Leave(1, 120_ms)
+      .Join(1, 240_ms)
+      .Burst(2, 150_ms, 80_ms, 0.8)
+      .Fade(0, 180_ms, /*mcs=*/0, /*restore_after=*/120_ms);
+  return plan;
+}
+
+TestbedConfig FaultedConfig(int shards, bool pool) {
+  TestbedConfig config = ScenarioConfig(QueueScheme::kAirtimeFair, shards, pool);
+  config.seed = 23;
+  config.faults = ChurnPlan();
+  config.churn_seed = 77;  // Pin it: the env fallback would vary per machine.
+  return config;
+}
+
+TEST(ShardedScenario, FaultedRunBitIdenticalAcrossShardCountsAndPool) {
+  // The acceptance bar for the fault subsystem: churn, burst loss and rate
+  // fades do not break the sharded loop's determinism contract. Every
+  // teardown/rejoin mutates cross-domain state (station table, AP queues,
+  // reorder buffers), so any perturbation applied off the control loop would
+  // show up here as diverging measurements.
+  for (const bool pool : {true, false}) {
+    SCOPED_TRACE(pool ? "pool" : "no-pool");
+    const StationMeasurements base =
+        RunUdpDownload(FaultedConfig(1, pool), ShortTiming(), 30e6);
+    for (const int shards : {2, 4}) {
+      SCOPED_TRACE(shards);
+      const StationMeasurements sharded =
+          RunUdpDownload(FaultedConfig(shards, pool), ShortTiming(), 30e6);
+      ExpectMeasurementsIdentical(base, sharded);
+    }
+  }
+}
+
 // Restores an environment variable on scope exit (the export paths below are
 // read by ~Testbed, not by the config).
 class ScopedEnv {
@@ -567,6 +609,51 @@ TEST(ShardedScenario, ExportedTraceAndTimeseriesIdenticalAcrossShardCounts) {
   EXPECT_GT(single_ts.points, 0);
   EXPECT_EQ(single_ts.points, sharded_ts.points);
   EXPECT_EQ(single_ts.series, sharded_ts.series);
+}
+
+TEST(ShardedScenario, FaultedTimeseriesByteIdenticalWithPerturbationMarks) {
+  // The churn analysis pipeline end to end: a faulted run exports the same
+  // timeseries bytes at every shard count — including the perturbation marks
+  // trace_stats gates reconvergence on — and the marks land at the scheduled
+  // instants with the right kind codes.
+  const std::string dir = ::testing::TempDir();
+  auto run = [&](int shards, const std::string& tag) {
+    const std::string series = dir + "churn_series_" + tag + ".jsonl";
+    ScopedEnv series_env("AIRFAIR_TIMESERIES_JSON", series);
+    ScopedEnv dispatch_env("AIRFAIR_TRACE_DISPATCH", "0");
+    RunUdpDownload(FaultedConfig(shards, true), ShortTiming(), 30e6);
+    return series;
+  };
+  const std::string single = run(1, "st");
+  const std::string sharded = run(4, "sh");
+
+  const std::string single_bytes = ReadFileBytes(single);
+  ASSERT_FALSE(single_bytes.empty());
+  EXPECT_EQ(single_bytes, ReadFileBytes(sharded));
+
+  std::string error;
+  analyze::TimeseriesData ts;
+  ASSERT_TRUE(analyze::LoadTimeseriesJsonl(single, &ts, &error)) << error;
+  const auto marks = ts.series.find(analyze::kPerturbationSeries);
+  ASSERT_NE(marks, ts.series.end());
+  // ChurnPlan yields five reconvergence marks: leave, join, burst end, fade
+  // apply, fade restore — and one onset mark at the burst start.
+  ASSERT_EQ(marks->second.size(), 5u);
+  EXPECT_EQ(marks->second[0].first, (120_ms).us());   // leave
+  EXPECT_EQ(marks->second[0].second, 1.0);
+  EXPECT_EQ(marks->second[1].first, (180_ms).us());   // fade apply
+  EXPECT_EQ(marks->second[1].second, 4.0);
+  EXPECT_EQ(marks->second[2].first, (230_ms).us());   // burst end
+  EXPECT_EQ(marks->second[2].second, 3.0);
+  EXPECT_EQ(marks->second[3].first, (240_ms).us());   // join
+  EXPECT_EQ(marks->second[3].second, 2.0);
+  EXPECT_EQ(marks->second[4].first, (300_ms).us());   // fade restore
+  EXPECT_EQ(marks->second[4].second, 4.0);
+  const auto onsets = ts.series.find("perturbation_onset");
+  ASSERT_NE(onsets, ts.series.end());
+  ASSERT_EQ(onsets->second.size(), 1u);
+  EXPECT_EQ(onsets->second[0].first, (150_ms).us());  // burst start
+  EXPECT_EQ(onsets->second[0].second, 3.0);
 }
 
 }  // namespace

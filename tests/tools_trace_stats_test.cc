@@ -156,6 +156,78 @@ TEST(ConvergenceTime, NeverConvergesAndMissingSeriesReturnMinusOne) {
   EXPECT_EQ(ConvergenceTimeUs(data, "empty", 0.95), -1);
 }
 
+TEST(PerturbationReconvergenceTest, SegmentsBetweenMarksRecoverIndependently) {
+  TimeseriesData data;
+  data.series["airtime_jain"] = {{1000, 0.98}, {2000, 0.97},  // Pre-perturbation.
+                                 {3000, 0.70}, {4000, 0.85}, {5000, 0.96},  // Leave dip.
+                                 {7000, 0.60}, {8000, 0.97}, {9000, 0.99}};  // Join dip.
+  data.series[kPerturbationSeries] = {{2500, 1.0}, {6000, 2.0}};
+  const auto results = PerturbationReconvergence(data, "airtime_jain", 0.95);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].mark_us, 2500);
+  EXPECT_DOUBLE_EQ(results[0].kind_code, 1.0);
+  // Segment (2500, 6000]: the dip at 3000-4000 pushes recovery to 5000.
+  EXPECT_EQ(results[0].reconverged_at_us, 5000);
+  EXPECT_EQ(results[0].reconvergence_us, 2500);
+  // Segment (6000, end]: recovery from 8000 onward.
+  EXPECT_EQ(results[1].reconverged_at_us, 8000);
+  EXPECT_EQ(results[1].reconvergence_us, 2000);
+}
+
+TEST(PerturbationReconvergenceTest, UnrecoveredSegmentReportsMinusOne) {
+  TimeseriesData data;
+  data.series["airtime_jain"] = {{3000, 0.99}, {4000, 0.60}};
+  data.series[kPerturbationSeries] = {{2500, 1.0}};
+  const auto results = PerturbationReconvergence(data, "airtime_jain", 0.95);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].reconverged_at_us, -1);
+  EXPECT_EQ(results[0].reconvergence_us, -1);
+}
+
+TEST(PerturbationReconvergenceTest, EmptySegmentAndMissingSeriesReportMinusOne) {
+  TimeseriesData data;
+  // A mark after the last Jain sample owns an empty segment.
+  data.series["airtime_jain"] = {{1000, 0.99}};
+  data.series[kPerturbationSeries] = {{500, 1.0}, {2000, 2.0}};
+  const auto results = PerturbationReconvergence(data, "airtime_jain", 0.95);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].reconverged_at_us, 1000);  // Mark at 500 sees the sample.
+  EXPECT_EQ(results[1].reconverged_at_us, -1);    // Mark at 2000 sees nothing.
+  // No Jain series at all: every mark reports -1.
+  TimeseriesData no_jain;
+  no_jain.series[kPerturbationSeries] = {{500, 1.0}};
+  const auto missing = PerturbationReconvergence(no_jain, "airtime_jain", 0.95);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].reconvergence_us, -1);
+  // No marks: nothing to analyze.
+  TimeseriesData no_marks;
+  no_marks.series["airtime_jain"] = {{1000, 0.99}};
+  EXPECT_TRUE(PerturbationReconvergence(no_marks, "airtime_jain", 0.95).empty());
+}
+
+TEST(PerturbationReconvergenceTest, SampleAtMarkInstantBelongsToPreviousSegment) {
+  TimeseriesData data;
+  // The sample AT the mark reflects pre-perturbation state: the sweep that
+  // recorded it ran before (or at the same instant as) the fault landed.
+  data.series["airtime_jain"] = {{2500, 0.40}, {3000, 0.99}};
+  data.series[kPerturbationSeries] = {{2500, 1.0}};
+  const auto results = PerturbationReconvergence(data, "airtime_jain", 0.95);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].reconverged_at_us, 3000);  // The 0.40 at the mark is excluded.
+}
+
+TEST(Reports, PerturbationReportNamesKindsAndWorstCase) {
+  TimeseriesData data;
+  data.series["airtime_jain"] = {{3000, 0.70}, {4000, 0.99}};
+  data.series[kPerturbationSeries] = {{2500, 1.0}};
+  std::ostringstream out;
+  PrintPerturbationReport(data, "airtime_jain", 0.95, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1 marks"), std::string::npos) << text;
+  EXPECT_NE(text.find("leave"), std::string::npos) << text;
+  EXPECT_NE(text.find("worst reconvergence: 1500us"), std::string::npos) << text;
+}
+
 TEST(SampleQuantileTest, InterpolatesAndHandlesEdges) {
   EXPECT_DOUBLE_EQ(SampleQuantile({}, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(SampleQuantile({42.0}, 0.99), 42.0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -68,6 +69,23 @@ void PrintStageRow(const char* label, const std::vector<double>& samples,
         << " p99=" << SampleQuantile(samples, 0.99) << "us";
   }
   out << "\n";
+}
+
+// Mirrors src/fault's 1-based FaultKind codes (the analyzer stays
+// dependency-free: it reads artifacts, it does not link the simulator).
+const char* PerturbationKindName(double code) {
+  switch (static_cast<int>(code)) {
+    case 1:
+      return "leave";
+    case 2:
+      return "join";
+    case 3:
+      return "burst";
+    case 4:
+      return "fade";
+    default:
+      return "unknown";
+  }
 }
 
 // Minimal expectation helper for the self-test.
@@ -179,6 +197,52 @@ int64_t ConvergenceTimeUs(const TimeseriesData& data, const std::string& series_
   return converged_at;
 }
 
+std::vector<ReconvergenceResult> PerturbationReconvergence(const TimeseriesData& data,
+                                                           const std::string& series_name,
+                                                           double threshold) {
+  std::vector<ReconvergenceResult> results;
+  const auto marks_it = data.series.find(kPerturbationSeries);
+  if (marks_it == data.series.end() || marks_it->second.empty()) {
+    return results;
+  }
+  const auto series_it = data.series.find(series_name);
+  const std::vector<std::pair<int64_t, double>> empty;
+  const auto& points = series_it == data.series.end() ? empty : series_it->second;
+
+  // Marks are written at perturbation instants, so file order is time order;
+  // sort anyway so a hand-assembled file analyzes the same way.
+  std::vector<std::pair<int64_t, double>> marks = marks_it->second;
+  std::stable_sort(marks.begin(), marks.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (size_t i = 0; i < marks.size(); ++i) {
+    ReconvergenceResult r;
+    r.mark_us = marks[i].first;
+    r.kind_code = marks[i].second;
+    const int64_t segment_end =
+        i + 1 < marks.size() ? marks[i + 1].first : std::numeric_limits<int64_t>::max();
+    // Segment = (mark, next mark]: samples at the mark instant still reflect
+    // the pre-perturbation state, samples at the next mark belong to this
+    // recovery (the next perturbation has only just landed).
+    const auto begin = std::upper_bound(
+        points.begin(), points.end(), r.mark_us,
+        [](int64_t t, const std::pair<int64_t, double>& p) { return t < p.first; });
+    auto end = std::upper_bound(
+        begin, points.end(), segment_end,
+        [](int64_t t, const std::pair<int64_t, double>& p) { return t < p.first; });
+    // Start of the final run of in-segment samples all >= threshold.
+    while (end != begin && std::prev(end)->second >= threshold) {
+      --end;
+      r.reconverged_at_us = end->first;
+    }
+    if (r.reconverged_at_us >= 0) {
+      r.reconvergence_us = r.reconverged_at_us - r.mark_us;
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
 double SampleQuantile(std::vector<double> samples, double q) {
   if (samples.empty()) {
     return 0.0;
@@ -228,6 +292,31 @@ void PrintTimeseriesReport(const TimeseriesData& data, const std::string& series
   } else {
     out << "convergence: " << series_name << " never settles at >= " << threshold
         << "\n";
+  }
+}
+
+void PrintPerturbationReport(const TimeseriesData& data, const std::string& series_name,
+                             double threshold, std::ostream& out) {
+  const std::vector<ReconvergenceResult> results =
+      PerturbationReconvergence(data, series_name, threshold);
+  out << "perturbations: " << results.size() << " marks (series " << series_name
+      << ", threshold " << threshold << ")\n";
+  int64_t worst_us = -1;
+  bool all_reconverged = !results.empty();
+  for (const ReconvergenceResult& r : results) {
+    out << "  t=" << r.mark_us << "us " << PerturbationKindName(r.kind_code) << ": ";
+    if (r.reconverged_at_us >= 0) {
+      out << "reconverged at t=" << r.reconverged_at_us << "us (+" << r.reconvergence_us
+          << "us, " << static_cast<double>(r.reconvergence_us) / 1e6 << "s)\n";
+      worst_us = std::max(worst_us, r.reconvergence_us);
+    } else {
+      out << "never reconverged within its segment\n";
+      all_reconverged = false;
+    }
+  }
+  if (all_reconverged) {
+    out << "  worst reconvergence: " << worst_us << "us ("
+        << static_cast<double>(worst_us) / 1e6 << "s)\n";
   }
 }
 
@@ -291,6 +380,51 @@ int TraceStatsSelfTest(std::ostream& out) {
   TimeseriesData bad_data;
   t.Expect(!ParseTimeseriesJsonl("{\"nope\":1}\n", &bad_data, &error),
            "non-timeseries line rejected");
+
+  // --- Perturbation reconvergence ---
+  // Two marks: a leave at t=2500 (Jain dips to 0.70 then recovers from
+  // t=4500) and a join at t=6000 whose segment never recovers.
+  const std::string churn_jsonl =
+      R"({"t_us":1000,"series":"airtime_jain","value":0.98,"run":"churn"})"
+      "\n"
+      R"({"t_us":2000,"series":"airtime_jain","value":0.97,"run":"churn"})"
+      "\n"
+      R"({"t_us":2500,"series":"perturbation","value":1,"run":"churn"})"
+      "\n"
+      R"({"t_us":3000,"series":"airtime_jain","value":0.70,"run":"churn"})"
+      "\n"
+      R"({"t_us":3500,"series":"airtime_jain","value":0.80,"run":"churn"})"
+      "\n"
+      R"({"t_us":4500,"series":"airtime_jain","value":0.96,"run":"churn"})"
+      "\n"
+      R"({"t_us":5500,"series":"airtime_jain","value":0.99,"run":"churn"})"
+      "\n"
+      R"({"t_us":6000,"series":"perturbation","value":2,"run":"churn"})"
+      "\n"
+      R"({"t_us":7000,"series":"airtime_jain","value":0.97,"run":"churn"})"
+      "\n"
+      R"({"t_us":8000,"series":"airtime_jain","value":0.60,"run":"churn"})"
+      "\n";
+  TimeseriesData churn;
+  t.Expect(ParseTimeseriesJsonl(churn_jsonl, &churn, &error),
+           "churn timeseries parses: " + error);
+  const auto recon = PerturbationReconvergence(churn, "airtime_jain", 0.95);
+  t.Expect(recon.size() == 2, "two perturbation marks analyzed");
+  if (recon.size() == 2) {
+    t.Expect(recon[0].mark_us == 2500 && recon[0].kind_code == 1.0,
+             "first mark is the leave at t=2500");
+    t.Expect(recon[0].reconverged_at_us == 4500 && recon[0].reconvergence_us == 2000,
+             "leave segment reconverges at t=4500 (+2000us)");
+    t.Expect(recon[1].reconverged_at_us == -1 && recon[1].reconvergence_us == -1,
+             "join segment ending below threshold never reconverges");
+  }
+  // A dip-free segment reconverges at its first in-segment sample, and the
+  // last mark's segment runs to the end of the series.
+  const auto easy = PerturbationReconvergence(churn, "airtime_jain", 0.65);
+  t.Expect(easy.size() == 2 && easy[0].reconvergence_us == 500,
+           "low threshold reconverges at the first post-mark sample");
+  t.Expect(PerturbationReconvergence(data, "airtime_jain", 0.95).empty(),
+           "no perturbation series yields no marks");
 
   // --- Quantiles ---
   t.Expect(SampleQuantile({1, 2, 3, 4, 5}, 0.5) == 3.0, "median of 1..5");

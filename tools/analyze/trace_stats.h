@@ -74,10 +74,37 @@ int64_t ConvergenceTimeUs(const TimeseriesData& data, const std::string& series_
 // a copy); 0 on empty.
 double SampleQuantile(std::vector<double> samples, double q);
 
+// The series the fault injector (src/fault) writes its perturbation marks
+// into: one point per perturbation instant, value = 1-based FaultKind code.
+inline const char* kPerturbationSeries = "perturbation";
+
+// One perturbation mark and the measured recovery that followed it.
+struct ReconvergenceResult {
+  int64_t mark_us = 0;
+  double kind_code = 0.0;            // Value recorded at the mark.
+  int64_t reconverged_at_us = -1;    // -1: never within this mark's segment.
+  int64_t reconvergence_us = -1;     // reconverged_at_us - mark_us.
+};
+
+// Per-perturbation reconvergence of `series_name` (typically airtime_jain):
+// each mark in the "perturbation" series owns the segment from strictly
+// after the mark up to and including the next mark (or the end of the
+// series for the last mark). Within its segment, a mark's reconvergence
+// point is the start of the final run of samples that all sit at or above
+// `threshold` and reach the segment end — the same tail-run definition
+// ConvergenceTimeUs uses for the whole series, restricted to the segment.
+// Marks whose segment is empty or whose last sample is below the threshold
+// report -1 (not reconverged).
+std::vector<ReconvergenceResult> PerturbationReconvergence(const TimeseriesData& data,
+                                                           const std::string& series_name,
+                                                           double threshold);
+
 // Human-readable reports (what the CLI prints).
 void PrintTraceReport(const TraceStats& stats, std::ostream& out);
 void PrintTimeseriesReport(const TimeseriesData& data, const std::string& series_name,
                            double threshold, std::ostream& out);
+void PrintPerturbationReport(const TimeseriesData& data, const std::string& series_name,
+                             double threshold, std::ostream& out);
 
 // Built-in self-test over synthetic artifacts (ctest trace_stats_selftest):
 // returns the number of failed expectations, printing each to `out`.

@@ -3,7 +3,8 @@
 // Usage:
 //   trace_stats [--trace chrome.json] [--timeseries points.jsonl]
 //               [--series NAME] [--jain-threshold X]
-//               [--require-convergence] [--self-test]
+//               [--require-convergence] [--perturbations]
+//               [--max-reconvergence-ms X] [--self-test]
 //
 // With --trace it prints the per-stage latency breakdown (queueing / air /
 // end-to-end), per-station airtime shares from the tx slices, and drop
@@ -11,8 +12,16 @@
 // time: the earliest sample after which --series (default airtime_jain)
 // stays at or above --jain-threshold (default 0.95).
 //
-// Exit codes: 0 ok, 1 --require-convergence unmet or self-test failure,
-// 2 usage/parse error.
+// --perturbations adds the per-perturbation reconvergence report: for each
+// mark the fault injector wrote into the "perturbation" series, the time
+// from the mark to the point where --series recovers to --jain-threshold
+// and stays there for the rest of the mark's segment.
+// --max-reconvergence-ms X (implies --perturbations) gates on it: exit 1
+// if the file has no perturbation marks, any segment never reconverges, or
+// any reconvergence exceeds X ms.
+//
+// Exit codes: 0 ok, 1 gate (--require-convergence / --max-reconvergence-ms)
+// unmet or self-test failure, 2 usage/parse error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +36,8 @@ int main(int argc, char** argv) {
   std::string series_name = "airtime_jain";
   double threshold = 0.95;
   bool require_convergence = false;
+  bool perturbations = false;
+  double max_reconvergence_ms = -1.0;  // < 0: report only, no gate.
   bool self_test = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -48,13 +59,19 @@ int main(int argc, char** argv) {
       threshold = std::atof(next("--jain-threshold"));
     } else if (arg == "--require-convergence") {
       require_convergence = true;
+    } else if (arg == "--perturbations") {
+      perturbations = true;
+    } else if (arg == "--max-reconvergence-ms") {
+      perturbations = true;
+      max_reconvergence_ms = std::atof(next("--max-reconvergence-ms"));
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: trace_stats [--trace chrome.json] [--timeseries points.jsonl]\n"
           "                   [--series NAME] [--jain-threshold X]\n"
-          "                   [--require-convergence] [--self-test]\n");
+          "                   [--require-convergence] [--perturbations]\n"
+          "                   [--max-reconvergence-ms X] [--self-test]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
@@ -92,6 +109,31 @@ int main(int argc, char** argv) {
         airfair::analyze::ConvergenceTimeUs(data, series_name, threshold) < 0) {
       std::fprintf(stderr, "trace_stats: required convergence not reached\n");
       exit_code = 1;
+    }
+    if (perturbations) {
+      airfair::analyze::PrintPerturbationReport(data, series_name, threshold, std::cout);
+      if (max_reconvergence_ms >= 0) {
+        const auto results =
+            airfair::analyze::PerturbationReconvergence(data, series_name, threshold);
+        if (results.empty()) {
+          // A gated run with no marks means the fault schedule never fired:
+          // that is a broken run, not a trivially-passing one.
+          std::fprintf(stderr, "trace_stats: no perturbation marks to gate on\n");
+          exit_code = 1;
+        }
+        const int64_t max_us = static_cast<int64_t>(max_reconvergence_ms * 1000.0);
+        for (const auto& r : results) {
+          if (r.reconvergence_us < 0 || r.reconvergence_us > max_us) {
+            std::fprintf(stderr,
+                         "trace_stats: perturbation at t=%lldus %s (limit %.0fms)\n",
+                         static_cast<long long>(r.mark_us),
+                         r.reconvergence_us < 0 ? "never reconverged"
+                                                : "reconverged too slowly",
+                         max_reconvergence_ms);
+            exit_code = 1;
+          }
+        }
+      }
     }
   }
   return exit_code;
