@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -254,6 +255,51 @@ void BM_ShardedWindowDispatch(benchmark::State& state) {
   state.SetLabel(shards > 1 ? "sharded" : "single");
 }
 BENCHMARK(BM_ShardedWindowDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+// One timeseries sampler tick at N stations — the Testbed sampler's
+// per-tick work after the accumulator rewrite: the deliver sink appends one
+// latency value per delivered packet (O(1) each, modeled by the fill loop),
+// and the tick drains each station's accumulator with a sort + three
+// quantile reads. The delivery count per tick is what the channel yields in
+// one 10 ms interval, so it does NOT grow with N — the old ring-scan
+// sampler paid O(trace ring) per station per tick instead, which is the
+// collapse this benchmark guards against at N=256.
+void BM_TimeseriesSample(benchmark::State& state) {
+  const size_t stations = static_cast<size_t>(state.range(0));
+  constexpr int kDeliveriesPerTick = 512;  // ~saturated 10 ms at MCS 15.
+  std::vector<std::vector<double>> accum(stations);
+  for (auto& samples : accum) {
+    samples.reserve(4096);
+  }
+  const auto quantile = [](const std::vector<double>& sorted, double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = lo + 1 < sorted.size() ? lo + 1 : sorted.size() - 1;
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  };
+  uint64_t x = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < kDeliveriesPerTick; ++i) {
+      x = x * 6364136223846793005ULL + 1;
+      accum[static_cast<size_t>(i) % stations].push_back(
+          static_cast<double>(x >> 40));
+    }
+    double sink = 0;
+    for (auto& samples : accum) {
+      if (samples.empty()) {
+        continue;
+      }
+      std::sort(samples.begin(), samples.end());
+      sink += quantile(samples, 0.50) + quantile(samples, 0.95) +
+              quantile(samples, 0.99);
+      samples.clear();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kDeliveriesPerTick);
+}
+BENCHMARK(BM_TimeseriesSample)->Arg(8)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace airfair

@@ -33,7 +33,8 @@ void MacQueueBackend::MarkBacklogged(StationId station, Tid tid) {
     return;
   }
   const int key = KeyOf(station, tid);
-  if (in_ring_.insert(key).second) {
+  if (!InRing(key)) {
+    SetInRing(key, true);
     ring_[static_cast<size_t>(ac)].push_back(key);
   }
 }
@@ -56,8 +57,8 @@ bool MacQueueBackend::HasData(StationId station, AccessCategory ac) const {
     if (queues_.TidBacklog(station, tid) > 0) {
       return true;
     }
-    const auto it = retry_.find(station * kNumTids + tid);
-    if (it != retry_.end() && !it->second.empty()) {
+    const std::deque<Mpdu>* retry = FindRetry(KeyOf(station, tid));
+    if (retry != nullptr && !retry->empty()) {
       return true;
     }
   }
@@ -72,8 +73,8 @@ Tid MacQueueBackend::FirstBackloggedTid(StationId station, AccessCategory ac) co
     if (queues_.TidBacklog(station, tid) > 0) {
       return tid;
     }
-    const auto it = retry_.find(station * kNumTids + tid);
-    if (it != retry_.end() && !it->second.empty()) {
+    const std::deque<Mpdu>* retry = FindRetry(KeyOf(station, tid));
+    if (retry != nullptr && !retry->empty()) {
       return tid;
     }
   }
@@ -89,7 +90,7 @@ bool MacQueueBackend::HasPending(AccessCategory ac) {
 
 TxDescriptor MacQueueBackend::BuildFor(StationId station, Tid tid) {
   const StationInfo& info = stations_->Get(station);
-  auto& retry = retry_[KeyOf(station, tid)];
+  auto& retry = RetrySlot(KeyOf(station, tid));
 
   AggregationSource source;
   source.peek_bytes = [this, &retry, station, tid]() -> int {
@@ -102,6 +103,7 @@ TxDescriptor MacQueueBackend::BuildFor(StationId station, Tid tid) {
     if (!retry.empty()) {
       Mpdu m = std::move(retry.front());
       retry.pop_front();
+      --retry_packets_;
       return m;
     }
     Mpdu m;
@@ -131,21 +133,20 @@ TxDescriptor MacQueueBackend::BuildNext(AccessCategory ac) {
     ring.pop_front();
     const StationId station = key / kNumTids;
     const Tid tid = static_cast<Tid>(key % kNumTids);
-    const bool has_retry = [&] {
-      const auto it = retry_.find(key);
-      return it != retry_.end() && !it->second.empty();
-    }();
+    const std::deque<Mpdu>* retry = FindRetry(key);
+    const bool has_retry = retry != nullptr && !retry->empty();
     if (queues_.TidBacklog(station, tid) == 0 && !has_retry) {
-      in_ring_.erase(key);
+      SetInRing(key, false);
       continue;
     }
     TxDescriptor tx = BuildFor(station, tid);
+    retry = FindRetry(key);  // BuildFor may have grown the retry table.
     const bool still_backlogged = queues_.TidBacklog(station, tid) > 0 ||
-                                  (retry_.count(key) != 0 && !retry_[key].empty());
+                                  (retry != nullptr && !retry->empty());
     if (still_backlogged) {
       ring.push_back(key);
     } else {
-      in_ring_.erase(key);
+      SetInRing(key, false);
     }
     if (!tx.empty()) {
       return tx;
@@ -155,7 +156,8 @@ TxDescriptor MacQueueBackend::BuildNext(AccessCategory ac) {
 }
 
 void MacQueueBackend::Requeue(StationId station, Tid tid, Mpdu mpdu) {
-  retry_[KeyOf(station, tid)].push_back(std::move(mpdu));
+  RetrySlot(KeyOf(station, tid)).push_back(std::move(mpdu));
+  ++retry_packets_;
   MarkBacklogged(station, tid);
 }
 
@@ -174,16 +176,17 @@ void MacQueueBackend::AccountRxAirtime(StationId station, AccessCategory ac, Tim
 int64_t MacQueueBackend::FlushStation(StationId station) {
   int64_t drained = queues_.FlushStation(station);
   for (Tid tid = 0; tid < kNumTids; ++tid) {
-    const auto it = retry_.find(KeyOf(station, tid));
-    if (it != retry_.end()) {
-      drained += static_cast<int64_t>(it->second.size());
-      retry_.erase(it);
+    const int key = KeyOf(station, tid);
+    if (key < static_cast<int>(retry_.size()) && !retry_[static_cast<size_t>(key)].empty()) {
+      drained += static_cast<int64_t>(retry_[static_cast<size_t>(key)].size());
+      retry_packets_ -= static_cast<int>(retry_[static_cast<size_t>(key)].size());
+      retry_[static_cast<size_t>(key)].clear();
     }
   }
   for (auto& ring : ring_) {
     for (auto it = ring.begin(); it != ring.end();) {
       if (*it / kNumTids == station) {
-        in_ring_.erase(*it);
+        SetInRing(*it, false);
         it = ring.erase(it);
       } else {
         ++it;
@@ -210,14 +213,21 @@ void MacQueueBackend::RegisterAudits(Auditor* auditor) const {
     });
   }
   auditor->AddCheck("backend_retry", [this](const Auditor::FailFn& fail) {
+    // Full recount from scratch: the running retry_packets_ counter that
+    // packet_count() trusts is itself under audit here.
     int retries = 0;
-    for (const auto& [key, queue] : retry_) {
+    for (size_t key = 0; key < retry_.size(); ++key) {
+      const std::deque<Mpdu>& queue = retry_[key];
       for (const Mpdu& mpdu : queue) {
         if (mpdu.packet == nullptr) {
           fail("backend: retry queue holds a null packet for key " + std::to_string(key));
         }
       }
       retries += static_cast<int>(queue.size());
+    }
+    if (retries != retry_packets_) {
+      fail("backend: retry_packets counter disagrees with recount: counter=" +
+           std::to_string(retry_packets_) + " recount=" + std::to_string(retries));
     }
     if (queues_.packet_count() + retries != packet_count()) {
       fail("backend: packet_count disagrees with queues + retry recount");
@@ -226,11 +236,7 @@ void MacQueueBackend::RegisterAudits(Auditor* auditor) const {
 }
 
 int MacQueueBackend::packet_count() const {
-  int retries = 0;
-  for (const auto& [key, queue] : retry_) {
-    retries += static_cast<int>(queue.size());
-  }
-  return queues_.packet_count() + retries;
+  return queues_.packet_count() + retry_packets_;
 }
 
 }  // namespace airfair

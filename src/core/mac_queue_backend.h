@@ -12,9 +12,9 @@
 #define AIRFAIR_SRC_CORE_MAC_QUEUE_BACKEND_H_
 
 #include <array>
+#include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "src/core/airtime_scheduler.h"
 #include "src/core/codel_adaptation.h"
@@ -87,6 +87,31 @@ class MacQueueBackend : public ApQueueBackend {
   void MarkBacklogged(StationId station, Tid tid);
   int KeyOf(StationId station, Tid tid) const { return station * kNumTids + tid; }
 
+  // Dense (station, tid)-keyed retry access: keys are small dense integers,
+  // so a grow-on-demand vector replaces the former unordered_map/set —
+  // every per-frame retry probe and ring-membership test is an index load
+  // instead of a hash lookup, which matters at 256 stations.
+  const std::deque<Mpdu>* FindRetry(int key) const {
+    return key >= 0 && key < static_cast<int>(retry_.size()) ? &retry_[static_cast<size_t>(key)]
+                                                             : nullptr;
+  }
+  std::deque<Mpdu>& RetrySlot(int key) {
+    if (key >= static_cast<int>(retry_.size())) {
+      retry_.resize(static_cast<size_t>(key) + 1);
+    }
+    return retry_[static_cast<size_t>(key)];
+  }
+  bool InRing(int key) const {
+    return key >= 0 && key < static_cast<int>(in_ring_.size()) &&
+           in_ring_[static_cast<size_t>(key)] != 0;
+  }
+  void SetInRing(int key, bool present) {
+    if (key >= static_cast<int>(in_ring_.size())) {
+      in_ring_.resize(static_cast<size_t>(key) + 1, 0);
+    }
+    in_ring_[static_cast<size_t>(key)] = present ? 1 : 0;
+  }
+
   Simulation* sim_;
   const StationTable* stations_;
   uint32_t ap_node_id_;
@@ -96,10 +121,16 @@ class MacQueueBackend : public ApQueueBackend {
   AirtimeScheduler scheduler_;
   CodelAdaptation adaptation_;
 
-  std::unordered_map<int, std::deque<Mpdu>> retry_;
-  // Round-robin state for the FQ-MAC (non-airtime) mode.
+  // Retry queues indexed by KeyOf(station, tid); empty deques stand in for
+  // the map's "absent" state. `retry_packets_` is the running total so
+  // packet_count() — polled every sample tick — is O(1) instead of a
+  // full-map walk (the backend_retry audit still recounts from scratch).
+  std::vector<std::deque<Mpdu>> retry_;
+  int retry_packets_ = 0;
+  // Round-robin state for the FQ-MAC (non-airtime) mode; in_ring_ is a
+  // dense membership bitmap over the same keys.
   std::array<std::deque<int>, kNumAccessCategories> ring_;
-  std::unordered_set<int> in_ring_;
+  std::vector<uint8_t> in_ring_;
 };
 
 }  // namespace airfair

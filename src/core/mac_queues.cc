@@ -22,12 +22,19 @@ CoDelParams MacQueues::ParamsFor(StationId station) const {
 }
 
 MacQueues::TidQueue* MacQueues::FindTid(StationId station, Tid tid) const {
-  const auto it = tids_.find(station * kNumTids + tid);
-  return it == tids_.end() ? nullptr : it->second.get();
+  if (station < 0) {
+    return nullptr;
+  }
+  const size_t key = static_cast<size_t>(station) * kNumTids + static_cast<size_t>(tid);
+  return key < tids_.size() ? tids_[key].get() : nullptr;
 }
 
 MacQueues::TidQueue& MacQueues::GetOrCreateTid(StationId station, Tid tid) {
-  auto& slot = tids_[station * kNumTids + tid];
+  const size_t key = static_cast<size_t>(station) * kNumTids + static_cast<size_t>(tid);
+  if (key >= tids_.size()) {
+    tids_.resize(key + 1);
+  }
+  auto& slot = tids_[key];
   if (slot == nullptr) {
     slot = std::make_unique<TidQueue>();
     slot->station = station;
@@ -184,18 +191,17 @@ int64_t MacQueues::FlushStation(StationId station) {
     q.codel = CoDelState();
   };
   for (Tid tid = 0; tid < kNumTids; ++tid) {
-    const auto it = tids_.find(station * kNumTids + tid);
-    if (it == tids_.end()) {
+    TidQueue* txq = FindTid(station, tid);
+    if (txq == nullptr) {
       continue;
     }
-    TidQueue* txq = it->second.get();
     for (FlowQueue& q : pool_) {
       if (q.tid == txq) {
         drain_queue(q);
       }
     }
     drain_queue(txq->overflow);
-    tids_.erase(it);
+    tids_[static_cast<size_t>(station) * kNumTids + static_cast<size_t>(tid)].reset();
   }
   flushed_total_ += drained;
   return drained;
@@ -263,8 +269,10 @@ int MacQueues::CheckInvariants(AuditFailFn fail) const {
   }
 
   // --- Per-TID structure, deficits and CoDel validity ---------------------
-  for (const auto& [key, txq] : tids_) {
-    (void)key;
+  for (const auto& txq : tids_) {
+    if (txq == nullptr) {
+      continue;  // Never created, or torn down by FlushStation.
+    }
     check_backlog_membership(txq->overflow, "overflow");
     violations += txq->new_queues.CheckIntegrity(subfail);
     violations += txq->old_queues.CheckIntegrity(subfail);
@@ -308,8 +316,10 @@ int MacQueues::CheckInvariants(AuditFailFn fail) const {
 }
 
 void MacQueues::CorruptDeficitForTesting() {
-  for (auto& [key, txq] : tids_) {
-    (void)key;
+  for (auto& txq : tids_) {
+    if (txq == nullptr) {
+      continue;
+    }
     if (FlowQueue* q = txq->new_queues.Front(); q != nullptr) {
       q->deficit = config_.quantum_bytes * 16;
       return;
@@ -322,8 +332,10 @@ void MacQueues::CorruptDeficitForTesting() {
 }
 
 void MacQueues::CorruptCodelStateForTesting() {
-  for (auto& [key, txq] : tids_) {
-    (void)key;
+  for (auto& txq : tids_) {
+    if (txq == nullptr) {
+      continue;
+    }
     for (auto* list : {&txq->new_queues, &txq->old_queues}) {
       if (FlowQueue* q = list->Front(); q != nullptr) {
         // Dropping with an unarmed next-drop clock is unreachable by the
@@ -337,8 +349,11 @@ void MacQueues::CorruptCodelStateForTesting() {
 }
 
 void MacQueues::CorruptTidBacklogForTesting() {
-  if (!tids_.empty()) {
-    tids_.begin()->second->backlog_packets += 7;
+  for (auto& txq : tids_) {
+    if (txq != nullptr) {
+      txq->backlog_packets += 7;
+      return;
+    }
   }
 }
 

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -152,7 +151,12 @@ class MacQueues {
   Config config_;
   InlineFunction<CoDelParams(StationId)> codel_params_;
   std::vector<FlowQueue> pool_;
-  std::unordered_map<int, std::unique_ptr<TidQueue>> tids_;  // key: station * kNumTids + tid.
+  // Dense TID index: slot station * kNumTids + tid, grown on first use.
+  // Station ids are small dense integers, so direct indexing replaces the
+  // former unordered_map — FindTid is two loads on the per-packet enqueue/
+  // dequeue path instead of a hash probe, which matters at 256 stations.
+  // nullptr = never created, or torn down by FlushStation.
+  std::vector<std::unique_ptr<TidQueue>> tids_;
   IntrusiveList<FlowQueue, &FlowQueue::backlog_node> backlogged_;
   int total_packets_ = 0;
   int64_t codel_drops_ = 0;

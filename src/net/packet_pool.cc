@@ -62,13 +62,14 @@ void PacketPool::AddChunk(DomainSlot& slot) {
   // Allocate, but the free-list links must start out sane. The chunk is
   // registered under the lock; its packets go onto the calling domain's
   // private free list, so no other thread sees them.
-  std::unique_ptr<Packet[]> storage = std::make_unique<Packet[]>(kChunkPackets);
+  std::unique_ptr<Packet[]> storage =
+      std::make_unique<Packet[]>(static_cast<size_t>(chunk_packets_));
   Packet* chunk = storage.get();
   {
     MutexLock lock(&chunk_mutex_);
     chunks_.push_back(std::move(storage));
   }
-  for (int i = kChunkPackets - 1; i >= 0; --i) {
+  for (int i = chunk_packets_ - 1; i >= 0; --i) {
     chunk[i].pool_next = slot.free_head;
     slot.free_head = &chunk[i];
   }

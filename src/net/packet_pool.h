@@ -47,11 +47,15 @@ namespace airfair {
 
 class PacketPool {
  public:
-  // Packets per chunk. 256 * sizeof(Packet) ≈ 40 KiB: large enough to make
-  // chunk allocations rare, small enough not to bloat 30-station scenarios.
+  // Default packets per chunk. 256 * sizeof(Packet) ≈ 40 KiB: large enough
+  // to make chunk allocations rare, small enough not to bloat 30-station
+  // scenarios. Larger topologies pass a bigger `chunk_packets` (the Testbed
+  // scales it with the station count) so a 256-station warmup does not pay
+  // hundreds of chunk_mutex_ acquisitions.
   static constexpr int kChunkPackets = 256;
 
-  PacketPool() = default;
+  explicit PacketPool(int chunk_packets = kChunkPackets)
+      : chunk_packets_(chunk_packets > 0 ? chunk_packets : kChunkPackets) {}
 
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
@@ -99,6 +103,7 @@ class PacketPool {
 
   void AddChunk(DomainSlot& slot);
 
+  const int chunk_packets_;
   DomainSlot slots_[kMaxShardDomains];
   mutable Mutex chunk_mutex_;
   std::vector<std::unique_ptr<Packet[]>> chunks_ AF_GUARDED_BY(chunk_mutex_);

@@ -132,6 +132,21 @@ class TraceBuffer {
   // Gate read by AF_TRACE_DISPATCH (see Config::record_dispatch).
   bool record_dispatch() const { return record_dispatch_; }
 
+  // Synchronous observer for kDeliver records, invoked from Append with the
+  // freshly written record. The Testbed's sampler feeds its per-station
+  // latency accumulators from here — O(1) per delivery — instead of
+  // re-scanning the ring every sample tick, which was O(ring) per sample
+  // and fell over at large station counts. A plain function pointer plus
+  // context (no std::function) keeps the disabled path a single null check
+  // and the hot path allocation-free. The sink runs on the buffer's owning
+  // thread (Append is single-threaded by the install discipline above) and
+  // must not append to the buffer reentrantly.
+  using DeliverSinkFn = void (*)(void* ctx, const TraceRecord& rec);
+  void set_deliver_sink(DeliverSinkFn sink, void* ctx) {
+    deliver_sink_ = sink;
+    deliver_sink_ctx_ = ctx;
+  }
+
   // Appends a record with an explicit timestamp. Never allocates.
   void Append(TimeUs t, TraceEventType type, int32_t station, int32_t tid,
               int64_t a0, int64_t a1, int64_t a2, uint16_t label = 0) {
@@ -145,6 +160,9 @@ class TraceBuffer {
     rec.type = static_cast<uint16_t>(type);
     rec.label = label;
     ++head_;
+    if (type == TraceEventType::kDeliver && deliver_sink_ != nullptr) {
+      deliver_sink_(deliver_sink_ctx_, rec);
+    }
   }
 
   // Appends stamped with the installed clock (t=0 when none is set).
@@ -199,6 +217,8 @@ class TraceBuffer {
   std::vector<const char*> interned_;
   ClockFn clock_;
   bool record_dispatch_ = true;
+  DeliverSinkFn deliver_sink_ = nullptr;
+  void* deliver_sink_ctx_ = nullptr;
 };
 
 // --- Current-buffer installation (runtime gate) ----------------------------

@@ -397,4 +397,20 @@ TestbedConfig ThirtyStationConfig(QueueScheme scheme, uint64_t seed) {
   return config;
 }
 
+TestbedConfig ScaleConfig(int stations, QueueScheme scheme, uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.scheme = scheme;
+  config.stations.clear();
+  const int kMcsSpread[] = {15, 12, 7, 4};
+  for (int i = 0; i < stations - 1; ++i) {
+    StationSpec spec;
+    spec.rate = McsRate(kMcsSpread[i % 4], /*short_gi=*/true);
+    spec.name = "fast-" + std::to_string(i + 1);
+    config.stations.push_back(spec);
+  }
+  config.stations.push_back(LegacyStation("slow-1mbps"));
+  return config;
+}
+
 }  // namespace airfair

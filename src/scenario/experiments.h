@@ -81,6 +81,13 @@ WebResult RunWeb(QueueScheme scheme, uint64_t seed, const WebPage& page, bool sl
 // download, plus one ping-only station.
 TestbedConfig ThirtyStationConfig(QueueScheme scheme, uint64_t seed);
 
+// --- N-station scaling setup (fig_scale) ---
+// The Figures 9-10 rate mix generalized to any station count: N-1 bulk
+// stations cycling MCS {15, 12, 7, 4} plus one 1 Mbit/s legacy station.
+// fig_scale sweeps this up to N=256 under saturating UDP; the dedicated
+// 128/256-station tests drive it with audits + ledger conservation on.
+TestbedConfig ScaleConfig(int stations, QueueScheme scheme, uint64_t seed);
+
 }  // namespace airfair
 
 #endif  // AIRFAIR_SRC_SCENARIO_EXPERIMENTS_H_

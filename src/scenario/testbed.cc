@@ -80,7 +80,30 @@ TimeUs HostBusDelayFromEnv(int shards) {
   return shards > 2 ? TimeUs::FromMicroseconds(100) : TimeUs::Zero();
 }
 
-Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_) {
+namespace {
+
+// Packet-pool chunk size scaled with the topology: the default 256-packet
+// chunk is right for the paper's 3-30 station setups, but a 256-station
+// warmup at 256/chunk pays thousands of chunk-mutex growth steps. 16
+// packets of headroom per station keeps small scenarios exactly as before
+// (max() floors at the default) and amortises growth at large N.
+int DerivedChunkPackets(const TestbedConfig& config) {
+  return std::max(PacketPool::kChunkPackets,
+                  16 * static_cast<int>(config.stations.size()));
+}
+
+// Cross-domain mailbox capacity scaled with the topology: every station can
+// have a handful of host-bus / wire crossings in flight per lookahead
+// window, so a hard 4Ki ceiling that was ample for 8 stations starves at
+// 256. 64 entries of headroom per station, floored at the former default.
+size_t DerivedMailboxCapacity(const TestbedConfig& config) {
+  return std::max<size_t>(size_t{1} << 12, 64 * config.stations.size());
+}
+
+}  // namespace
+
+Testbed::Testbed(const TestbedConfig& config)
+    : packet_pool_(DerivedChunkPackets(config)), sim_(config.seed), medium_(&sim_) {
   // Partition into shard domains before anything is scheduled. The lookahead
   // window is the minimum delay a cross-domain event can travel: the wired
   // link's one-way delay (server <-> AP) and, when station hosts live in
@@ -96,7 +119,7 @@ Testbed::Testbed(const TestbedConfig& config) : sim_(config.seed), medium_(&sim_
     AF_CHECK_GT(lookahead.us(), 0)
         << " sharding needs a positive cross-domain delay to derive the"
            " lookahead window from";
-    sim_.EnableSharding(shards_, lookahead);
+    sim_.EnableSharding(shards_, lookahead, DerivedMailboxCapacity(config));
     server_domain_ = 1;
   }
 
@@ -368,6 +391,12 @@ void Testbed::BuildTrace(const TestbedConfig& config) {
   trace_config.capacity = TraceRingCapacityFromEnv(trace_config.capacity);
   trace_config.record_dispatch =
       trace_config.record_dispatch && TraceDispatchEnabledFromEnv();
+  // Intern slots scale with the topology instead of a hard 256: every
+  // per-station instrumentation site that labels records gets a slot with
+  // headroom, so a 256-station run cannot silently exhaust the table
+  // (Intern returns 0 = unlabelled when full).
+  trace_config.intern_capacity =
+      std::max(trace_config.intern_capacity, 64 + 2 * config.stations.size());
   trace_ = std::make_unique<TraceBuffer>(trace_config);
   obs_thread_ = std::this_thread::get_id();
   // Routed clock: trace records appended from a domain's events carry that
@@ -389,10 +418,12 @@ void Testbed::BuildTrace(const TestbedConfig& config) {
                std::to_string(config.stations.size()) + " seed=" +
                std::to_string(config.seed);
   const size_t n = config.stations.size();
-  latency_scratch_.resize(n);
+  latency_accum_.resize(n);
   share_scratch_.assign(n, 0.0);
+  jain_scratch_.reserve(n);
+  jain_active_only_ = config.jain_active_only;
   for (size_t i = 0; i < n; ++i) {
-    latency_scratch_[i].reserve(4096);
+    latency_accum_[i].reserve(4096);
     const std::string& name = config.stations[i].name;
     airtime_series_.push_back(timeseries_->Series("airtime_share." + name));
     latency_p50_series_.push_back(timeseries_->Series("latency_p50_us." + name));
@@ -412,7 +443,17 @@ void Testbed::BuildTrace(const TestbedConfig& config) {
       sample_interval_ = TimeUs::FromMilliseconds(ms);
     }
   }
+  // Incremental latency accumulation: every kDeliver append lands in the
+  // station's accumulator as it happens, so the sample tick below only
+  // sorts and drains — the former per-tick ForEachSince ring scan was
+  // O(ring capacity) per sample regardless of how few records were new,
+  // which dominated the run at large station counts.
+  trace_->set_deliver_sink(&Testbed::DeliverSinkThunk, this);
   ScheduleSample();
+}
+
+void Testbed::DeliverSinkThunk(void* ctx, const TraceRecord& rec) {
+  static_cast<Testbed*>(ctx)->OnDeliverRecord(rec);
 }
 
 void Testbed::ScheduleSample() {
@@ -454,7 +495,21 @@ void Testbed::SampleTimeseries() {
       share_scratch_[i] /= total;
       timeseries_->Record(airtime_series_[i], now, share_scratch_[i]);
     }
-    timeseries_->Record(jain_series_, now, JainFairnessIndex(share_scratch_));
+    if (jain_active_only_) {
+      // Jain over stations present in the window: a churned-out station is
+      // absent, not unfairly starved, so it must not count as a zero share
+      // (7 fair stations of 7 score 1.0, not 7/8 = 0.875). Jain is
+      // scale-invariant, so the subset needs no renormalisation.
+      jain_scratch_.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (station_table_.IsActive(static_cast<StationId>(i))) {
+          jain_scratch_.push_back(share_scratch_[i]);
+        }
+      }
+      timeseries_->Record(jain_series_, now, JainFairnessIndex(jain_scratch_));
+    } else {
+      timeseries_->Record(jain_series_, now, JainFairnessIndex(share_scratch_));
+    }
   }
 
   // Backend standing queue (whichever backend this scheme uses).
@@ -466,23 +521,13 @@ void Testbed::SampleTimeseries() {
                         static_cast<double>(qdisc_backend_->packet_count()));
   }
 
-  // Per-station end-to-end latency quantiles over the window, from the
-  // kDeliver records appended to the ring since the previous sample.
-  for (auto& scratch : latency_scratch_) {
-    scratch.clear();
-  }
-  trace_->ForEachSince(deliver_scan_seq_, [this](const TraceRecord& rec) {
-    if (rec.type != static_cast<uint16_t>(TraceEventType::kDeliver)) {
-      return;
-    }
-    if (rec.station >= 0 && rec.station < static_cast<int32_t>(latency_scratch_.size())) {
-      latency_scratch_[static_cast<size_t>(rec.station)].push_back(
-          static_cast<double>(rec.a0));
-    }
-  });
-  deliver_scan_seq_ = trace_->total_appended();
-  for (size_t i = 0; i < latency_scratch_.size(); ++i) {
-    std::vector<double>& samples = latency_scratch_[i];
+  // Per-station end-to-end latency quantiles over the window. The deliver
+  // sink (OnDeliverRecord) accumulated every kDeliver since the previous
+  // tick in append order — identical contents to the retired ring re-scan,
+  // without its O(ring) cost — so this pass only sorts, records and drains.
+  // Clearing keeps each vector's capacity: steady state allocates nothing.
+  for (size_t i = 0; i < latency_accum_.size(); ++i) {
+    std::vector<double>& samples = latency_accum_[i];
     if (samples.empty()) {
       continue;
     }
@@ -490,6 +535,7 @@ void Testbed::SampleTimeseries() {
     timeseries_->Record(latency_p50_series_[i], now, QuantileSorted(samples, 0.50));
     timeseries_->Record(latency_p95_series_[i], now, QuantileSorted(samples, 0.95));
     timeseries_->Record(latency_p99_series_[i], now, QuantileSorted(samples, 0.99));
+    samples.clear();
   }
 }
 

@@ -152,6 +152,13 @@ struct TestbedConfig {
   // single 3 ms A-MPDU dominates a 10 ms window and the Jain index
   // whipsaws; 200 ms matches the averaging the paper's airtime figures use.
   int airtime_window_samples = 20;
+
+  // Windowed Jain is computed over stations *active* in the window: a
+  // station churned out by fault injection stops counting toward the index
+  // instead of dragging it down as a permanent zero share (7 fair stations
+  // out of 7 present score 1.0, not 7/8). Pin to false to get the old
+  // every-station semantics (the churn regression test pins both).
+  bool jain_active_only = true;
 };
 
 class Testbed {
@@ -231,6 +238,17 @@ class Testbed {
   void SampleTimeseries();
   void ExportTraceArtifacts();
 
+  // TraceBuffer deliver sink (set_deliver_sink): feeds the per-station
+  // latency accumulators at append time, O(1) per delivered packet.
+  static void DeliverSinkThunk(void* ctx, const TraceRecord& rec);
+  void OnDeliverRecord(const TraceRecord& rec) {
+    if (rec.station >= 0 &&
+        rec.station < static_cast<int32_t>(latency_accum_.size())) {
+      latency_accum_[static_cast<size_t>(rec.station)].push_back(
+          static_cast<double>(rec.a0));
+    }
+  }
+
   // Declared before sim_ on purpose: members destroy in reverse order, so
   // the pool outlives the event loop — closures still holding PacketPtrs
   // release them into a live pool. The pool's destructor checks that no
@@ -279,14 +297,16 @@ class Testbed {
   TimeUs sample_interval_;
   std::string run_label_;  // "<scheme> n=<stations> seed=<seed>" for exports.
   // Sampler state: a ring of airtime-ledger snapshots implementing the
-  // sliding share window, a watermark into the trace ring for the latency
-  // scan, and pre-reserved per-station scratch (steady-state sampling
-  // performs no allocation).
+  // sliding share window, per-station latency accumulators fed at trace
+  // append time by the deliver sink (drained and re-used every sample
+  // tick), and pre-reserved scratch (steady-state sampling performs no
+  // allocation).
   std::vector<std::vector<TimeUs>> airtime_history_;
   size_t airtime_history_pos_ = 0;
-  uint64_t deliver_scan_seq_ = 0;
-  std::vector<std::vector<double>> latency_scratch_;
+  std::vector<std::vector<double>> latency_accum_;
   std::vector<double> share_scratch_;
+  std::vector<double> jain_scratch_;
+  bool jain_active_only_ = true;
   // Registered series ids (setup-path; index = station).
   std::vector<int> airtime_series_;
   std::vector<int> latency_p50_series_;

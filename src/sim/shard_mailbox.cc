@@ -20,15 +20,19 @@ ScopedShardDomain::ScopedShardDomain(int domain) : previous_(tl_shard_domain) {
 
 ScopedShardDomain::~ScopedShardDomain() { tl_shard_domain = previous_; }
 
-ShardMailbox::ShardMailbox(size_t capacity) : capacity_(capacity) {
+ShardMailbox::ShardMailbox(size_t capacity, int domain)
+    : capacity_(capacity), domain_(domain) {
   entries_.reserve(capacity_);
 }
 
 void ShardMailbox::Post(int target, int64_t when_us, uint64_t post_id,
                         InlineFunction<void(), 48> fn) {
   AF_CHECK_LT(entries_.size(), capacity_)
-      << " shard mailbox overflow: domain posted more than " << capacity_
-      << " cross-domain events in one lookahead window";
+      << " shard mailbox overflow: domain " << domain_ << " posted more than "
+      << capacity_ << " cross-domain events in one lookahead window (while"
+      << " targeting domain " << target
+      << "); raise ShardedEventLoop::Config::mailbox_capacity — the Testbed"
+         " derives it from the station count at construction";
   entries_.push_back(Entry{target, when_us, post_id, std::move(fn)});
 }
 

@@ -120,7 +120,13 @@ struct ShardWindowState {
 
 // Fixed-capacity outbox for cross-domain events posted during a window.
 // Capacity is reserved up front and enforced with AF_CHECK, so posting never
-// reallocates mid-window.
+// reallocates mid-window. Capacity is no longer a hard-coded constant at the
+// use site: the sharded loop sizes every mailbox from its config, and the
+// Testbed derives that from the station count (see EnableSharding /
+// DerivedMailboxCapacity), so dense large-N windows do not hit an arbitrary
+// ceiling. `domain` identifies the owning (posting) domain purely for
+// diagnostics: the overflow failure names it so an operator knows which
+// partition outgrew its window budget.
 class ShardMailbox {
  public:
   struct Entry {
@@ -132,20 +138,24 @@ class ShardMailbox {
     InlineFunction<void(), 48> fn;
   };
 
-  explicit ShardMailbox(size_t capacity = 1 << 16);
+  explicit ShardMailbox(size_t capacity = 1 << 16, int domain = 0);
 
-  // Appends an entry. Checks (fatal) that the mailbox is not full.
+  // Appends an entry. Checks (fatal) that the mailbox is not full; the
+  // failure message names the posting domain and the capacity so the report
+  // is actionable without a debugger.
   void Post(int target, int64_t when_us, uint64_t post_id,
             InlineFunction<void(), 48> fn);
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  int domain() const { return domain_; }
   Entry& entry(size_t i) { return entries_[i]; }
 
   void Clear() { entries_.clear(); }
 
  private:
   size_t capacity_;
+  int domain_ = 0;
   std::vector<Entry> entries_;
 };
 

@@ -43,7 +43,9 @@ ShardedEventLoop::ShardedEventLoop(EventLoop* domain0, const Config& config)
 
   mailboxes_.reserve(static_cast<size_t>(config_.shards));
   for (int d = 0; d < config_.shards; ++d) {
-    mailboxes_.emplace_back(config_.mailbox_capacity);
+    // Tagged with the owning (posting) domain so an overflow failure names
+    // the partition that outgrew its window budget.
+    mailboxes_.emplace_back(config_.mailbox_capacity, d);
   }
 
   workers_.reserve(static_cast<size_t>(config_.shards) - 1);

@@ -16,6 +16,7 @@
 #include "src/fault/gilbert_elliott.h"
 #include "src/net/udp.h"
 #include "src/scenario/testbed.h"
+#include "tools/analyze/trace_stats.h"
 
 namespace airfair {
 namespace {
@@ -184,11 +185,11 @@ TEST(GilbertElliott, DifferentSeedsProduceDifferentTrajectories) {
 
 // Saturating downlink UDP to every station of a 3-station airtime testbed.
 struct ChurnRig {
-  explicit ChurnRig(TestbedConfig config) : tb(config) {
+  explicit ChurnRig(TestbedConfig config, double rate_bps = 20e6) : tb(config) {
     for (int i = 0; i < tb.station_count(); ++i) {
       sinks.push_back(std::make_unique<UdpSink>(tb.station_host(i), 6001));
       UdpSource::Config src;
-      src.rate_bps = 20e6;
+      src.rate_bps = rate_bps;
       sources.push_back(std::make_unique<UdpSource>(tb.server_host(), tb.station_node(i),
                                                     6001, src));
       sources.back()->Start();
@@ -298,6 +299,62 @@ TEST(FaultInjection, BurstLossReducesDeliveryDeterministically) {
   EXPECT_LT(bursty, clean);
   // Determinism: the same seeded run reproduces byte-for-byte.
   EXPECT_EQ(bursty, measured_bytes(0.9));
+}
+
+// --- Windowed Jain semantics under churn ---
+
+TEST(FaultInjection, WindowedJainCountsOnlyPresentStationsByDefault) {
+  // A departed station holds zero airtime by definition, so counting it in
+  // the windowed Jain caps every post-leave window at (N-1)/N — the 7/8 =
+  // 0.875 ceiling that forced the churn CI gate down to 0.85. The default
+  // (jain_active_only) scores fairness among the stations actually present;
+  // jain_active_only = false pins the old full-roster semantics. This test
+  // runs the same one-leave scenario under both and checks the tail windows
+  // land on the two predicted values: with station 0 of 3 gone and the other
+  // two splitting airtime evenly, active-only -> ~1.0, full-roster ->
+  // (0.5 + 0.5)^2 / (3 * (0.25 + 0.25)) = 2/3.
+  const std::string dir = ::testing::TempDir();
+  const auto tail_jain = [&](bool active_only, const std::string& tag) {
+    const std::string path = dir + "churn_jain_" + tag + ".jsonl";
+    ::setenv("AIRFAIR_TIMESERIES_JSON", path.c_str(), /*overwrite=*/1);
+    {
+      TestbedConfig config = ChurnConfig();
+      config.jain_active_only = active_only;
+      config.faults = FaultPlan().Leave(0, 500_ms);  // Gone for the rest.
+      // Saturate both survivors (the fast one needs > 70 Mbit/s offered):
+      // only a backlogged station claims its full airtime share, and the
+      // predicted Jain values assume an even split between the two.
+      ChurnRig rig(config, 80e6);
+      rig.tb.sim().RunFor(2_s);
+    }  // ~Testbed writes the artifact.
+    ::unsetenv("AIRFAIR_TIMESERIES_JSON");
+
+    analyze::TimeseriesData data;
+    std::string error;
+    EXPECT_TRUE(analyze::LoadTimeseriesJsonl(path, &data, &error)) << error;
+    const auto series = data.series.find("airtime_jain");
+    if (series == data.series.end()) {
+      ADD_FAILURE() << "no airtime_jain series in " << path;
+      return 0.0;
+    }
+    // Mean over the settled tail: well past the leave plus the 200 ms share
+    // window, so every averaged window has station 0 absent throughout.
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& [t_us, value] : series->second) {
+      if (t_us >= 1'500'000) {
+        sum += value;
+        ++count;
+      }
+    }
+    EXPECT_GT(count, 10);
+    return count > 0 ? sum / count : 0.0;
+  };
+
+  const double active_only = tail_jain(true, "active");
+  const double full_roster = tail_jain(false, "full");
+  EXPECT_GT(active_only, 0.95);
+  EXPECT_NEAR(full_roster, 2.0 / 3.0, 0.05);
 }
 
 }  // namespace

@@ -299,7 +299,7 @@ TEST(ShardMailbox, PostAndDrain) {
 }
 
 TEST(ShardMailbox, OverflowTripsCheck) {
-  ShardMailbox box(2);
+  ShardMailbox box(2, /*domain=*/3);
   box.Post(0, 1, 0, [] {});
   box.Post(0, 2, 1, [] {});
   int failures = 0;
@@ -311,7 +311,13 @@ TEST(ShardMailbox, OverflowTripsCheck) {
   });
   box.Post(0, 3, 2, [] {});
   EXPECT_EQ(failures, 1);
+  // The failure must say which domain's outbox overflowed, which domain it
+  // was posting to, and where the capacity comes from — the message is the
+  // only diagnostic a 256-station overflow leaves behind.
   EXPECT_NE(message.find("mailbox overflow"), std::string::npos);
+  EXPECT_NE(message.find("domain 3"), std::string::npos);
+  EXPECT_NE(message.find("targeting domain 0"), std::string::npos);
+  EXPECT_NE(message.find("mailbox_capacity"), std::string::npos);
 }
 
 // Regression: a local post and a cross-domain post made inside the same
@@ -481,6 +487,29 @@ TEST(ShardedScenario, ThirtyStationDeepRunBitIdenticalAtFourShards) {
   const StationMeasurements base = RunUdpDownload(config(1), timing, 2e6);
   const StationMeasurements sharded = RunUdpDownload(config(4), timing, 2e6);
   ExpectMeasurementsIdentical(base, sharded);
+}
+
+TEST(ShardedScenario, HundredTwentyEightStationRunBitIdenticalAcrossShardCounts) {
+  // The fig_scale setup at N=128: the station-count regime the scaling work
+  // targets. Short measure — determinism needs identical dispatch histories,
+  // not steady state — but every station still sources traffic, so the
+  // derived mailbox capacity, the dense station/TID indexes and the
+  // accumulator-based sampler all run at this N in both modes.
+  auto config = [](int shards) {
+    TestbedConfig c = ScaleConfig(128, QueueScheme::kAirtimeFair, 5);
+    c.shards = shards;
+    c.host_bus_delay = TimeUs::FromMicroseconds(100);
+    return c;
+  };
+  ExperimentTiming timing;
+  timing.warmup = 50_ms;
+  timing.measure = 200_ms;
+  const StationMeasurements base = RunUdpDownload(config(1), timing, 1e6);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE(shards);
+    const StationMeasurements sharded = RunUdpDownload(config(shards), timing, 1e6);
+    ExpectMeasurementsIdentical(base, sharded);
+  }
 }
 
 // A perturbation schedule exercising every fault kind inside ShortTiming's

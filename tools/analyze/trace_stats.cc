@@ -221,15 +221,19 @@ std::vector<ReconvergenceResult> PerturbationReconvergence(const TimeseriesData&
     r.kind_code = marks[i].second;
     const int64_t segment_end =
         i + 1 < marks.size() ? marks[i + 1].first : std::numeric_limits<int64_t>::max();
-    // Segment = (mark, next mark]: samples at the mark instant still reflect
-    // the pre-perturbation state, samples at the next mark belong to this
-    // recovery (the next perturbation has only just landed).
+    // Segment = (mark, next mark), both ends exclusive: samples at a mark
+    // instant already reflect that mark's perturbation (a churn join flips
+    // the station's presence at the mark, and an active-only Jain sample on
+    // the same instant sees the new roster while windowed airtime lags), so
+    // a boundary sample belongs to neither the preceding segment's recovery
+    // nor — being at the perturbation instant itself — the next one's.
     const auto begin = std::upper_bound(
         points.begin(), points.end(), r.mark_us,
         [](int64_t t, const std::pair<int64_t, double>& p) { return t < p.first; });
-    auto end = std::upper_bound(
+    auto end = std::lower_bound(
         begin, points.end(), segment_end,
-        [](int64_t t, const std::pair<int64_t, double>& p) { return t < p.first; });
+        [](const std::pair<int64_t, double>& p, int64_t t) { return p.first < t; });
+    r.segment_samples = static_cast<int64_t>(end - begin);
     // Start of the final run of in-segment samples all >= threshold.
     while (end != begin && std::prev(end)->second >= threshold) {
       --end;
@@ -309,6 +313,9 @@ void PrintPerturbationReport(const TimeseriesData& data, const std::string& seri
       out << "reconverged at t=" << r.reconverged_at_us << "us (+" << r.reconvergence_us
           << "us, " << static_cast<double>(r.reconvergence_us) / 1e6 << "s)\n";
       worst_us = std::max(worst_us, r.reconvergence_us);
+    } else if (r.segment_samples == 0) {
+      out << "no reconvergence (no samples after mark)\n";
+      all_reconverged = false;
     } else {
       out << "never reconverged within its segment\n";
       all_reconverged = false;
@@ -399,6 +406,11 @@ int TraceStatsSelfTest(std::ostream& out) {
       "\n"
       R"({"t_us":5500,"series":"airtime_jain","value":0.99,"run":"churn"})"
       "\n"
+      // A sample on the join instant itself: it sees the post-join roster
+      // (active-only Jain dips as the rejoined station starts at zero
+      // windowed airtime), so it must belong to neither segment.
+      R"({"t_us":6000,"series":"airtime_jain","value":0.50,"run":"churn"})"
+      "\n"
       R"({"t_us":6000,"series":"perturbation","value":2,"run":"churn"})"
       "\n"
       R"({"t_us":7000,"series":"airtime_jain","value":0.97,"run":"churn"})"
@@ -415,8 +427,11 @@ int TraceStatsSelfTest(std::ostream& out) {
              "first mark is the leave at t=2500");
     t.Expect(recon[0].reconverged_at_us == 4500 && recon[0].reconvergence_us == 2000,
              "leave segment reconverges at t=4500 (+2000us)");
+    t.Expect(recon[0].segment_samples == 4, "leave segment holds 4 samples");
     t.Expect(recon[1].reconverged_at_us == -1 && recon[1].reconvergence_us == -1,
              "join segment ending below threshold never reconverges");
+    t.Expect(recon[1].segment_samples == 2,
+             "non-recovery is diagnosed over a populated segment");
   }
   // A dip-free segment reconverges at its first in-segment sample, and the
   // last mark's segment runs to the end of the series.
@@ -425,6 +440,27 @@ int TraceStatsSelfTest(std::ostream& out) {
            "low threshold reconverges at the first post-mark sample");
   t.Expect(PerturbationReconvergence(data, "airtime_jain", 0.95).empty(),
            "no perturbation series yields no marks");
+  // A trailing mark with no samples after it: reconvergence is unmeasurable
+  // (segment_samples == 0), which must be reported distinctly from a
+  // populated segment that ends below the threshold.
+  const std::string tail_jsonl = churn_jsonl +
+      R"({"t_us":9000,"series":"perturbation","value":1,"run":"churn"})"
+      "\n";
+  TimeseriesData tail;
+  t.Expect(ParseTimeseriesJsonl(tail_jsonl, &tail, &error),
+           "tail-mark timeseries parses: " + error);
+  const auto tail_recon = PerturbationReconvergence(tail, "airtime_jain", 0.95);
+  t.Expect(tail_recon.size() == 3, "trailing mark analyzed");
+  if (tail_recon.size() == 3) {
+    t.Expect(tail_recon[2].segment_samples == 0 &&
+                 tail_recon[2].reconverged_at_us == -1,
+             "trailing mark has an empty segment and no reconvergence");
+    std::ostringstream report;
+    PrintPerturbationReport(tail, "airtime_jain", 0.95, report);
+    t.Expect(report.str().find("no reconvergence (no samples after mark)") !=
+                 std::string::npos,
+             "report distinguishes the empty-segment mark");
+  }
 
   // --- Quantiles ---
   t.Expect(SampleQuantile({1, 2, 3, 4, 5}, 0.5) == 3.0, "median of 1..5");

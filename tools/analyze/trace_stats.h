@@ -84,17 +84,26 @@ struct ReconvergenceResult {
   double kind_code = 0.0;            // Value recorded at the mark.
   int64_t reconverged_at_us = -1;    // -1: never within this mark's segment.
   int64_t reconvergence_us = -1;     // reconverged_at_us - mark_us.
+  // Samples of the analyzed series inside this mark's segment. 0 means the
+  // mark landed after the last sample (e.g. a scheduled fault firing at the
+  // very end of the run): reconvergence is *unmeasurable*, which is a
+  // different diagnosis from a populated segment that ends below the
+  // threshold (a real non-recovery). Both report reconverged_at_us == -1;
+  // consumers that gate on reconvergence should distinguish them by this
+  // count rather than report a bogus "never reconverged".
+  int64_t segment_samples = 0;
 };
 
 // Per-perturbation reconvergence of `series_name` (typically airtime_jain):
-// each mark in the "perturbation" series owns the segment from strictly
-// after the mark up to and including the next mark (or the end of the
-// series for the last mark). Within its segment, a mark's reconvergence
+// each mark in the "perturbation" series owns the segment strictly between
+// the mark and the next mark (or the end of the series for the last mark);
+// samples at a mark instant already reflect that mark's perturbation and
+// belong to no segment. Within its segment, a mark's reconvergence
 // point is the start of the final run of samples that all sit at or above
 // `threshold` and reach the segment end — the same tail-run definition
 // ConvergenceTimeUs uses for the whole series, restricted to the segment.
 // Marks whose segment is empty or whose last sample is below the threshold
-// report -1 (not reconverged).
+// report -1 (not reconverged); `segment_samples` tells the two apart.
 std::vector<ReconvergenceResult> PerturbationReconvergence(const TimeseriesData& data,
                                                            const std::string& series_name,
                                                            double threshold);

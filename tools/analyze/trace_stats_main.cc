@@ -124,11 +124,17 @@ int main(int argc, char** argv) {
         const int64_t max_us = static_cast<int64_t>(max_reconvergence_ms * 1000.0);
         for (const auto& r : results) {
           if (r.reconvergence_us < 0 || r.reconvergence_us > max_us) {
+            // An empty segment (a mark with no samples after it) is a
+            // different failure from a populated segment that never recovers:
+            // the former means the run ended before recovery was measurable.
+            const char* diagnosis =
+                r.reconvergence_us >= 0 ? "reconverged too slowly"
+                : r.segment_samples == 0
+                    ? "has no samples after the mark (reconvergence unmeasurable)"
+                    : "never reconverged";
             std::fprintf(stderr,
                          "trace_stats: perturbation at t=%lldus %s (limit %.0fms)\n",
-                         static_cast<long long>(r.mark_us),
-                         r.reconvergence_us < 0 ? "never reconverged"
-                                                : "reconverged too slowly",
+                         static_cast<long long>(r.mark_us), diagnosis,
                          max_reconvergence_ms);
             exit_code = 1;
           }
